@@ -1,0 +1,70 @@
+// Ablation (DESIGN.md section 4): Steiner-candidate enumeration for the
+// iterated constructions — the paper's full V-N scan vs the corridor
+// filter, and the effect of the candidate cap. Reports solution quality
+// (wirelength vs the full scan) and work (Dijkstra runs per net).
+
+#include <cstdio>
+#include <random>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "core/metrics.hpp"
+#include "core/route.hpp"
+#include "workload/congestion_model.hpp"
+#include "workload/random_nets.hpp"
+
+int main() {
+  using namespace fpr;
+  bench::banner(
+      "Ablation — IGMST/IDOM Steiner-candidate strategies on 20x20 grids\n"
+      "(50 nets, 8 pins, low congestion; quality vs the full V-N scan)");
+
+  struct Config {
+    const char* label;
+    CandidateStrategy strategy;
+    int cap;
+    bool batched;
+  };
+  const Config configs[] = {
+      {"all nodes (paper)", CandidateStrategy::kAllNodes, 0, false},
+      {"all nodes, batched rounds", CandidateStrategy::kAllNodes, 0, true},
+      {"corridor", CandidateStrategy::kCorridor, 0, false},
+      {"corridor, cap 48", CandidateStrategy::kCorridor, 48, false},
+      {"corridor, cap 16", CandidateStrategy::kCorridor, 16, false},
+  };
+
+  for (const Algorithm algo : {Algorithm::kIkmb, Algorithm::kIdom}) {
+    TextTable table({"Candidates", "Avg wire% vs full scan", "Avg Dijkstra runs/net"});
+    std::vector<RunningStat> wire(std::size(configs));
+    std::vector<RunningStat> runs(std::size(configs));
+
+    std::mt19937_64 rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+      GridGraph grid = make_congested_grid(20, 20, 10, rng);
+      const Net net = random_grid_net(grid, 8, rng);
+      Weight reference = 0;
+      for (std::size_t i = 0; i < std::size(configs); ++i) {
+        PathOracle oracle(grid.graph());
+        RouteOptions options;
+        options.candidates = configs[i].strategy;
+        options.max_candidates = configs[i].cap;
+        options.batched = configs[i].batched;
+        const RoutingTree tree = route(grid.graph(), net, algo, oracle, options);
+        if (i == 0) reference = tree.cost();
+        wire[i].add(percent_vs(tree.cost(), reference));
+        runs[i].add(static_cast<double>(oracle.dijkstra_runs()));
+      }
+    }
+    for (std::size_t i = 0; i < std::size(configs); ++i) {
+      table.add_row({configs[i].label, format_fixed(wire[i].mean()),
+                     format_fixed(runs[i].mean(), 1)});
+    }
+    std::printf("%s:\n%s\n", algorithm_name(algo).data(), table.render().c_str());
+  }
+  std::printf(
+      "Takeaway: the corridor filter loses little quality while bounding the\n"
+      "candidate set, which is what makes IKMB affordable on real device\n"
+      "graphs (|V| > 5000).\n");
+  return 0;
+}

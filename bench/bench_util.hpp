@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace fpr::bench {
+
+/// FPR_FULL=1 enables the heaviest circuit sweeps.
+inline bool full_mode() {
+  const char* env = std::getenv("FPR_FULL");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace fpr::bench

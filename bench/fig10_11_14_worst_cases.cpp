@@ -1,0 +1,39 @@
+// Regenerates Figures 10, 11 and 14: the worst-case families.
+//  - Fig 10: PFA on the weighted-graph gadget -> ratio grows linearly in |N|.
+//  - Fig 11: PFA on the grid staircase -> bounded by 2x; our SPT-extraction
+//    assembly step defuses the published tightness (ratios hover just above
+//    1 instead of approaching 2), documented in EXPERIMENTS.md.
+//  - Fig 14: IDOM on the Set-Cover gadget -> ratio grows like log |N|.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/figures.hpp"
+
+int main() {
+  using namespace fpr;
+  bench::banner("Figures 10 / 11 / 14 — worst-case constructions");
+
+  std::printf("%s\n",
+              render_ratio_sweep("Fig. 10: PFA on the weighted gadget (Theta(N) x OPT)",
+                                 run_fig10({2, 4, 8, 16, 32, 64}))
+                  .c_str());
+
+  std::printf(
+      "%s(note: our PFA adds an SPT-extraction step over the folded union;\n"
+      " it never hurts and empirically removes the 2x tightness of this\n"
+      " family — ratios stay slightly above 1 instead of approaching 2)\n\n",
+      render_ratio_sweep("Fig. 11: PFA on the grid staircase (bound: 2 x OPT)",
+                         run_fig11({2, 4, 6, 8, 10, 12}))
+          .c_str());
+
+  std::printf("%s\n",
+              render_ratio_sweep("Fig. 14: IDOM on the Set-Cover gadget (Omega(log N) x OPT)",
+                                 run_fig14({1, 2, 3, 4, 5, 6}))
+                  .c_str());
+
+  std::printf(
+      "Shapes reproduced: Fig 10 ratio ~ N/4 (linear); Fig 11 within the\n"
+      "proven 2x bound; Fig 14 ratio ~ (levels+1)/2 (logarithmic in sinks).\n");
+  return 0;
+}

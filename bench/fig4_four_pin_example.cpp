@@ -1,0 +1,18 @@
+// Regenerates Figure 4: one four-pin net routed four ways (KMB, IGMST,
+// DJKA, IDOM) with the wirelength/pathlength relationships the figure
+// illustrates — KMB pays extra wirelength AND extra pathlength, IGMST is
+// the optimal Steiner tree, IDOM the optimal arborescence winning both
+// metrics over KMB simultaneously.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/figures.hpp"
+
+int main() {
+  using namespace fpr;
+  bench::banner("Figure 4 — four solutions for one four-pin net");
+  const Fig4Result result = run_fig4();
+  std::printf("%s", render_fig4(result).c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// CPU-time microbenchmarks (google-benchmark) for every routing-tree
+// construction, on the instance classes the paper quotes: "CPU times for
+// IKMB, PFA and IDOM on random graphs with |V| = 50, |E| = 1000 and
+// |N| = 5 are in the range of several dozen milliseconds on a Sun/4
+// workstation" (Section 5). Also measured: 20x20 grid nets (the Table 1
+// substrate) and a 4000-series device graph (the Tables 2-5 substrate).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/route.hpp"
+#include "experiments/tables23.hpp"
+#include "graph/grid.hpp"
+#include "netlist/profiles.hpp"
+
+namespace fpr {
+namespace {
+
+/// The paper's random-graph class: |V| = 50, |E| = 1000, |N| = 5.
+Graph paper_random_graph(unsigned seed) {
+  std::mt19937_64 rng(seed);
+  Graph g(50);
+  std::uniform_int_distribution<NodeId> any(0, 49);
+  std::uniform_real_distribution<Weight> weight(1.0, 10.0);
+  for (NodeId i = 1; i < 50; ++i) {
+    std::uniform_int_distribution<NodeId> pred(0, i - 1);
+    g.add_edge(i, pred(rng), weight(rng));
+  }
+  for (int e = 49; e < 1000; ++e) {
+    NodeId u = any(rng), v = any(rng);
+    if (u == v) v = (v + 1) % 50;
+    g.add_edge(u, v, weight(rng));
+  }
+  return g;
+}
+
+std::vector<NodeId> pick_net(NodeId nodes, int pins, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> net;
+  std::uniform_int_distribution<NodeId> any(0, nodes - 1);
+  while (static_cast<int>(net.size()) < pins) {
+    const NodeId v = any(rng);
+    bool fresh = true;
+    for (const NodeId u : net) fresh = fresh && u != v;
+    if (fresh) net.push_back(v);
+  }
+  return net;
+}
+
+void BM_PaperRandomGraph(benchmark::State& state, Algorithm algo) {
+  const Graph g = paper_random_graph(1);
+  const auto terminals = pick_net(50, 5, 2);
+  Net net;
+  net.source = terminals[0];
+  net.sinks.assign(terminals.begin() + 1, terminals.end());
+  for (auto _ : state) {
+    PathOracle oracle(g);
+    benchmark::DoNotOptimize(route(g, net, algo, oracle));
+  }
+}
+
+void BM_Grid20(benchmark::State& state, Algorithm algo) {
+  const GridGraph grid(20, 20);
+  const auto terminals = pick_net(400, 8, 3);
+  Net net;
+  net.source = terminals[0];
+  net.sinks.assign(terminals.begin() + 1, terminals.end());
+  for (auto _ : state) {
+    PathOracle oracle(grid.graph());
+    benchmark::DoNotOptimize(route(grid.graph(), net, algo, oracle));
+  }
+}
+
+void BM_DeviceGraph(benchmark::State& state, Algorithm algo) {
+  // term1-sized 4000-series device at W=8 (|V| ~ 1700).
+  const Device device(ArchSpec::xc4000(10, 9, 8));
+  Net net;
+  net.source = device.block_node(1, 1);
+  net.sinks = {device.block_node(7, 2), device.block_node(4, 8), device.block_node(8, 6)};
+  RouteOptions options;
+  options.candidates = CandidateStrategy::kCorridor;
+  options.max_candidates = 48;
+  for (auto _ : state) {
+    PathOracle oracle(device.graph());
+    if (algorithm_supports_scoped_paths(algo)) oracle.set_scope(net.terminals());
+    benchmark::DoNotOptimize(route(device.graph(), net, algo, oracle, options));
+  }
+}
+
+#define FPR_BENCH_ALGO(fn, algo) \
+  BENCHMARK_CAPTURE(fn, algo, Algorithm::k##algo)->Unit(benchmark::kMillisecond)
+
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Kmb);
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Zel);
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Ikmb);
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Izel);
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Djka);
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Dom);
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Pfa);
+FPR_BENCH_ALGO(BM_PaperRandomGraph, Idom);
+
+FPR_BENCH_ALGO(BM_Grid20, Kmb);
+FPR_BENCH_ALGO(BM_Grid20, Ikmb);
+FPR_BENCH_ALGO(BM_Grid20, Pfa);
+FPR_BENCH_ALGO(BM_Grid20, Idom);
+
+FPR_BENCH_ALGO(BM_DeviceGraph, Kmb);
+FPR_BENCH_ALGO(BM_DeviceGraph, Ikmb);
+FPR_BENCH_ALGO(BM_DeviceGraph, Pfa);
+FPR_BENCH_ALGO(BM_DeviceGraph, Idom);
+
+}  // namespace
+}  // namespace fpr
+
+BENCHMARK_MAIN();

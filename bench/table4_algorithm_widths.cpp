@@ -1,0 +1,42 @@
+// Regenerates Table 4: minimum channel width with the router driven by
+// IKMB vs PFA vs IDOM on the 4000-series circuits. The arborescence
+// algorithms buy optimal source-sink pathlengths at a channel-width
+// premium; IDOM's premium is smaller than PFA's.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "experiments/table45.hpp"
+
+int main() {
+  using namespace fpr;
+  const bool full = bench::full_mode();
+  bench::banner("Table 4 — min channel width by tree algorithm (IKMB / PFA / IDOM)");
+
+  std::vector<CircuitProfile> profiles = xc4000_profiles();
+  if (!full) {
+    // Three width searches per circuit: keep the default to the five
+    // smaller circuits.
+    std::erase_if(profiles, [](const CircuitProfile& p) {
+      return p.name == "k2" || p.name == "alu4" || p.name == "vda" ||
+             p.name == "example2";
+    });
+    std::printf("(default mode: 5 of 9 circuits; FPR_FULL=1 runs all nine)\n\n");
+  }
+
+  Table4Options options;
+  options.seed = 1995;
+  options.max_passes = 10;
+  options.max_width = 24;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = run_table4(profiles, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::printf("%s", render_table4(result).c_str());
+  std::printf("[table4] total time %.1fs (seed %u)\n", elapsed, options.seed);
+  return 0;
+}

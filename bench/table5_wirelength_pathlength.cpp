@@ -1,0 +1,41 @@
+// Regenerates Table 5: at a fixed per-circuit channel width (the paper's
+// Table 5 widths), the percent wirelength increase and percent maximum
+// pathlength decrease of PFA and IDOM relative to IKMB. The tradeoff the
+// paper highlights: ~10-20% more wire buys ~10% shorter critical paths,
+// with IDOM dominating PFA on both sides.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "experiments/table45.hpp"
+
+int main() {
+  using namespace fpr;
+  const bool full = bench::full_mode();
+  bench::banner("Table 5 — wirelength vs max-pathlength tradeoff at fixed width");
+
+  std::vector<CircuitProfile> profiles = xc4000_profiles();
+  if (!full) {
+    std::erase_if(profiles, [](const CircuitProfile& p) { return p.name == "k2"; });
+    std::printf("(default mode: k2 skipped; FPR_FULL=1 runs all nine)\n\n");
+  }
+
+  Table5Options options;
+  options.seed = 1995;
+  options.max_passes = 12;
+  // Paper widths from profiles; bump by +2 because our synthetic circuits
+  // and device model are calibrated to smaller absolute widths, and Table 5
+  // requires a width at which all three algorithms complete.
+  for (const auto& p : profiles) options.widths.push_back(p.paper_table5_width + 2);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = run_table5(profiles, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::printf("%s", render_table5(result).c_str());
+  std::printf("[table5] total time %.1fs (seed %u)\n", elapsed, options.seed);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Critical-net routing: why arborescences matter for performance-driven
+// FPGA design. Routes the same timing-critical net with a wirelength-only
+// Steiner heuristic (IKMB) and with the arborescence constructions
+// (PFA/IDOM), on a congested graph where the two objectives genuinely
+// conflict, and shows the delay (pathlength) gap.
+
+#include <cstdio>
+#include <random>
+
+#include "core/metrics.hpp"
+#include "core/route.hpp"
+#include "workload/congestion_model.hpp"
+#include "workload/random_nets.hpp"
+
+int main() {
+  using namespace fpr;
+
+  std::mt19937_64 rng(7);
+  // Medium congestion, as in Table 1's third block: 20 pre-routed nets.
+  GridGraph grid = make_congested_grid(20, 20, 20, rng);
+  std::printf("Congested 20x20 grid, mean edge weight %.2f (paper level: 1.55)\n\n",
+              grid.graph().mean_active_edge_weight());
+
+  // A high-fanout critical net.
+  const Net net = random_grid_net(grid, 8, rng);
+
+  PathOracle oracle(grid.graph());
+  const auto& spt = oracle.from(net.source);
+  std::printf("Net: source %d, %zu sinks; optimal per-sink delays:\n", net.source,
+              net.sinks.size());
+  for (const NodeId s : net.sinks) std::printf("  sink %4d: optimal delay %.1f\n", s, spt.distance(s));
+
+  std::printf("\n%-6s %12s %16s %22s\n", "algo", "wirelength", "max pathlength",
+              "worst sink slowdown");
+  for (const Algorithm algo : {Algorithm::kIkmb, Algorithm::kDjka, Algorithm::kPfa,
+                               Algorithm::kIdom}) {
+    const RoutingTree tree = route(grid.graph(), net, algo, oracle);
+    const TreeMetrics m = measure(grid.graph(), net, tree, oracle);
+    double worst_slowdown = 0;
+    for (const NodeId s : net.sinks) {
+      const Weight actual = tree.path_length(net.source, s);
+      worst_slowdown = std::max(worst_slowdown,
+                                100.0 * (actual - spt.distance(s)) / spt.distance(s));
+    }
+    std::printf("%-6s %12.1f %16.1f %20.1f%%\n", algorithm_name(algo).data(), m.wirelength,
+                m.max_pathlength, worst_slowdown);
+  }
+
+  std::printf(
+      "\nIKMB's tree can reach some sink far off its shortest path; PFA and\n"
+      "IDOM pin every sink at its optimal delay, paying only a modest\n"
+      "wirelength premium — the paper's critical-net routing tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// End-to-end FPGA routing: build a Xilinx-4000-style device, synthesize a
+// placed circuit from a published benchmark profile, route it completely
+// with the multi-pass router, and search for the minimum channel width —
+// the Tables 2/3 flow in miniature.
+
+#include <cstdio>
+
+#include "experiments/tables23.hpp"
+#include "netlist/synth.hpp"
+#include "router/baseline.hpp"
+#include "router/width_search.hpp"
+
+int main() {
+  using namespace fpr;
+
+  // term1: 10x9 logic-block array, 88 nets (Table 3 row 3).
+  const CircuitProfile& profile = xc4000_profiles()[2];
+  const Circuit circuit = synthesize_circuit(profile, /*seed=*/1995);
+  const auto h = circuit.histogram();
+  std::printf("Circuit '%s': %zu nets on a %dx%d array (%d 2-3 pin, %d 4-10 pin, %d >10 pin)\n",
+              circuit.name.c_str(), circuit.nets.size(), circuit.rows, circuit.cols, h.pins_2_3,
+              h.pins_4_10, h.pins_over_10);
+
+  // Route once at a known-feasible width and inspect the outcome.
+  const ArchSpec arch = arch_for(profile, ArchFamily::kXc4000).with_width(8);
+  std::printf("\nDevice: %s (%d graph nodes, %d wire segments)\n", arch.describe().c_str(),
+              Device(arch).graph().node_count(), Device(arch).wire_count());
+
+  Device device(arch);
+  RouterOptions options;  // IKMB, move-to-front, congestion weighting
+  const RoutingResult result = route_circuit(device, circuit, options);
+  std::printf("Complete routing: %s in %d pass(es); total wirelength %.0f; %d wire segments used\n",
+              result.success ? "SUCCESS" : "FAILED", result.passes, result.total_wirelength,
+              result.total_wire_nodes);
+
+  // Minimum-channel-width search, our router vs the two-pin baseline.
+  WidthSearchOptions search;
+  search.max_width = 16;
+  const auto ours = find_min_channel_width(arch, circuit, options, search);
+  const auto baseline =
+      find_min_channel_width(arch, circuit, two_pin_baseline_options(), search);
+  std::printf("\nMinimum channel width: our Steiner router W=%d, two-pin baseline W=%d\n",
+              ours.min_width, baseline.min_width);
+  std::printf("(paper, real term1 netlist: our router 8, SEGA 10, GBP 10)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Minimal command-line router: load a circuit file (see src/io/text_io.hpp
+// for the format; export_benchmarks writes compatible files), route it on a
+// Xilinx-style device at the given channel width, and report the outcome.
+//
+// Usage: route_cli <circuit.net> [width] [xc3000|xc4000] [ikmb|pfa|idom]
+// With no arguments it routes a built-in demo circuit.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "experiments/tables23.hpp"
+#include "io/text_io.hpp"
+#include "netlist/synth.hpp"
+#include "router/router.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fpr;
+
+  Circuit circuit;
+  if (argc >= 2) {
+    const auto loaded = load_circuit(argv[1]);
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot read circuit file '%s'\n", argv[1]);
+      return 1;
+    }
+    circuit = *loaded;
+  } else {
+    std::printf("(no circuit file given; routing the built-in term1 demo)\n");
+    circuit = synthesize_circuit(xc4000_profiles()[2], 1995);
+  }
+
+  const int width = argc >= 3 ? std::atoi(argv[2]) : 8;
+  const bool xc3000 = argc >= 4 && std::strcmp(argv[3], "xc3000") == 0;
+  const ArchSpec arch = xc3000 ? ArchSpec::xc3000(circuit.rows, circuit.cols, width)
+                               : ArchSpec::xc4000(circuit.rows, circuit.cols, width);
+
+  RouterOptions options;
+  if (argc >= 5) {
+    const std::string algo = argv[4];
+    if (algo == "pfa") options.algorithm = Algorithm::kPfa;
+    else if (algo == "idom") options.algorithm = Algorithm::kIdom;
+    else if (algo != "ikmb") {
+      std::fprintf(stderr, "error: unknown algorithm '%s'\n", algo.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("Routing '%s' (%zu nets) on %s with %s...\n", circuit.name.c_str(),
+              circuit.nets.size(), arch.describe().c_str(),
+              algorithm_name(options.algorithm).data());
+  Device device(arch);
+  const RoutingResult result = route_circuit(device, circuit, options);
+  if (!result.success) {
+    std::printf("UNROUTABLE at W=%d: %d nets failed after %d passes\n", width,
+                result.failed_nets, result.passes);
+    return 2;
+  }
+  std::printf("SUCCESS in %d pass(es)\n", result.passes);
+  std::printf("  wire segments used:     %d of %d\n", result.total_wire_nodes,
+              device.wire_count());
+  std::printf("  physical wirelength:    %ld hops\n", result.total_physical_wirelength);
+  std::printf("  sum of max pathlengths: %ld hops\n", result.total_physical_max_path);
+  std::printf("  routed metric: wire %.0f, max paths %.0f (optimal %.0f)\n",
+              result.total_wirelength, result.total_max_pathlength,
+              result.total_optimal_max_pathlength);
+  return 0;
+}

@@ -1,0 +1,3 @@
+#include "analysis/stats.hpp"
+
+// RunningStat is header-only; this translation unit anchors the library.

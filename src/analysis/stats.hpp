@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace fpr {
+
+/// Streaming mean/min/max/stddev accumulator (Welford), used by the
+/// experiment drivers to aggregate per-net percentages exactly the way
+/// Table 1 averages them.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || count_ == 1) min_ = x;
+    if (x > max_ || count_ == 1) max_ = x;
+  }
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const { return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1); }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace fpr

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpr {
+
+/// Fixed-width ASCII table renderer shared by every bench binary, so all
+/// reproduced tables print in one consistent format.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next row.
+  void add_separator();
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Fixed-precision double ("12.34"); trims "-0.00" to "0.00".
+std::string format_fixed(double value, int precision = 2);
+
+}  // namespace fpr

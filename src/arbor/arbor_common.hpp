@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// Shortest-paths tree over a subgraph given as an edge set (sparse maps:
+/// only nodes touched by the edges appear).
+struct SubgraphSpt {
+  std::unordered_map<NodeId, Weight> dist;
+  std::unordered_map<NodeId, EdgeId> parent_edge;
+  std::unordered_map<NodeId, NodeId> parent;
+
+  bool reached(NodeId v) const { return dist.count(v) > 0; }
+};
+
+/// Dijkstra restricted to the given edge subset of g.
+SubgraphSpt dijkstra_on_edges(const Graph& g, NodeId source, std::span<const EdgeId> edges);
+
+/// Shared tail of every arborescence construction in this library
+/// (DJKA / DOM / PFA / IDOM): given a set of union edges that is supposed to
+/// contain a shortest source->sink path for every sink, build the final
+/// shortest-paths tree.
+///
+/// Runs Dijkstra restricted to the union subgraph; if any sink ends up
+/// unreached or at a distance worse than the true graph distance (possible
+/// only in degenerate zero-weight-cycle unions), the true shortest path is
+/// spliced in and the SPT recomputed. The result is the union of the
+/// subgraph-SPT paths to the sinks — a tree in which every source-sink path
+/// length equals minpath_G (the GSA feasibility condition), or a
+/// non-spanning tree when some sink is unreachable in G itself.
+RoutingTree arborescence_from_union(const Graph& g, NodeId source, std::span<const NodeId> sinks,
+                                    std::vector<EdgeId> union_edges, PathOracle& oracle);
+
+/// Deduped terminal list with `source` guaranteed first; the remaining
+/// entries are the distinct sinks.
+std::vector<NodeId> canonical_terminals(NodeId source, std::span<const NodeId> net);
+
+}  // namespace fpr

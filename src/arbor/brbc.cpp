@@ -1,0 +1,94 @@
+#include "arbor/brbc.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "arbor/arbor_common.hpp"
+#include "steiner/kmb.hpp"
+
+namespace fpr {
+
+RoutingTree brbc(const Graph& g, std::span<const NodeId> net, double epsilon,
+                 PathOracle& oracle) {
+  if (net.empty()) return RoutingTree(g, {});
+  const std::vector<NodeId> terminals = canonical_terminals(net[0], net);
+  const NodeId source = terminals[0];
+
+  RoutingTree base = kmb(g, terminals, oracle);
+  if (!base.spans(terminals)) return base;
+  if (base.empty()) return base;
+
+  const auto& truth = oracle.from(source);
+
+  // Adjacency of the base tree for the depth-first tour.
+  std::unordered_map<NodeId, std::vector<std::pair<EdgeId, NodeId>>> adj;
+  for (const EdgeId e : base.edges()) {
+    const auto& ed = g.edge(e);
+    adj[ed.u].emplace_back(e, ed.v);
+    adj[ed.v].emplace_back(e, ed.u);
+  }
+
+  // Iterative DFS tour from the source: every tree edge is traversed twice
+  // (down and back up). `reach` is a running upper bound on the current
+  // subgraph's source distance to the tour position (distance of the last
+  // splice point plus tour length walked since); whenever it would exceed
+  // (1 + epsilon) * d_G(source, v) at a node v, the true shortest
+  // source-v path is spliced in, which resets the bound to d_G(source, v).
+  // Every node therefore ends with subgraph distance <= (1 + epsilon) *
+  // optimal by construction.
+  std::vector<EdgeId> union_edges = base.edges();
+  Weight reach = 0;
+  std::unordered_map<NodeId, std::size_t> next_child;
+  std::vector<NodeId> stack{source};
+  std::unordered_map<NodeId, NodeId> dfs_parent{{source, kInvalidNode}};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    auto& cursor = next_child[v];
+    const auto& children = adj[v];
+    if (cursor >= children.size()) {
+      stack.pop_back();
+      if (!stack.empty()) {
+        // Walk back up to the parent.
+        for (const auto& [e, u] : children) {
+          if (u == stack.back()) {
+            reach += g.edge_weight(e);
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    const auto [e, u] = children[cursor++];
+    if (dfs_parent.count(u) > 0) continue;  // already visited (the parent)
+    dfs_parent[u] = v;
+    reach += g.edge_weight(e);
+    stack.push_back(u);
+    if (truth.reached(u) && reach > (1.0 + epsilon) * truth.distance(u)) {
+      const auto shortcut = truth.path_edges_to(u);
+      union_edges.insert(union_edges.end(), shortcut.begin(), shortcut.end());
+      reach = truth.distance(u);
+    }
+  }
+
+  // Shortest-paths tree over the augmented subgraph, restricted to
+  // source-sink paths. Unlike the arborescence constructions, NO optimality
+  // patching: the whole point of epsilon > 0 is to allow bounded slack.
+  const SubgraphSpt spt = dijkstra_on_edges(g, source, union_edges);
+  std::vector<EdgeId> tree_edges;
+  for (std::size_t i = 1; i < terminals.size(); ++i) {
+    NodeId v = terminals[i];
+    if (!spt.reached(v)) continue;
+    while (v != source) {
+      tree_edges.push_back(spt.parent_edge.at(v));
+      v = spt.parent.at(v);
+    }
+  }
+  return RoutingTree(g, std::move(tree_edges));
+}
+
+RoutingTree brbc(const Graph& g, std::span<const NodeId> net, double epsilon) {
+  PathOracle oracle(g);
+  return brbc(g, net, epsilon, oracle);
+}
+
+}  // namespace fpr

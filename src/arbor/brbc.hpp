@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// The Bounded-Radius Bounded-Cost construction of Cong, Kahng, Robins,
+/// Sarrafzadeh and Wong [14] — the prior radius/wirelength tradeoff method
+/// the paper positions PFA/IDOM against (Section 2): "with the tradeoff
+/// parameter tuned completely towards pathlength minimization, [BRBC]
+/// produces the same shortest-paths tree as would Dijkstra's algorithm",
+/// i.e. it cannot deliver a shortest-paths tree *with minimized wirelength*.
+///
+/// Graph Steiner variant: start from the KMB tree, walk its depth-first
+/// tour from the source accumulating traversed length, and whenever the
+/// accumulation exceeds epsilon * d_G(source, v) at a tour node v, splice
+/// the true shortest source-v path into the subgraph and reset. The result
+/// is the shortest-paths tree over the augmented subgraph, restricted to
+/// source-sink paths.
+///
+/// Guarantees: pathlength to every sink <= (1 + epsilon) * d_G(source,
+/// sink); cost <= (1 + 2/epsilon) * cost(KMB tree). epsilon = 0 forces
+/// optimal pathlengths (an SPT, generally costlier than PFA/IDOM);
+/// epsilon -> infinity returns the KMB tree restricted to source-sink
+/// paths.
+///
+/// net[0] is the source; the remaining entries are sinks.
+RoutingTree brbc(const Graph& g, std::span<const NodeId> net, double epsilon,
+                 PathOracle& oracle);
+
+RoutingTree brbc(const Graph& g, std::span<const NodeId> net, double epsilon);
+
+}  // namespace fpr

@@ -1,0 +1,29 @@
+#include "arbor/djka.hpp"
+
+#include "arbor/arbor_common.hpp"
+
+namespace fpr {
+
+RoutingTree djka(const Graph& g, std::span<const NodeId> net, PathOracle& oracle) {
+  if (net.empty()) return RoutingTree(g, {});
+  const std::vector<NodeId> terminals = canonical_terminals(net[0], net);
+  const NodeId source = terminals[0];
+  const auto& spt = oracle.from(source);
+
+  std::vector<EdgeId> edges;
+  for (std::size_t i = 1; i < terminals.size(); ++i) {
+    if (!spt.reached(terminals[i])) continue;
+    const auto path = spt.path_edges_to(terminals[i]);
+    edges.insert(edges.end(), path.begin(), path.end());
+  }
+  // Paths within one SPT can only share prefixes, so the union is already a
+  // tree whose leaves are sinks; RoutingTree dedupes the shared prefixes.
+  return RoutingTree(g, std::move(edges));
+}
+
+RoutingTree djka(const Graph& g, std::span<const NodeId> net) {
+  PathOracle oracle(g);
+  return djka(g, net, oracle);
+}
+
+}  // namespace fpr

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// DJKA (Section 5): Dijkstra's shortest-paths tree algorithm adapted to the
+/// GSA problem — compute the SPT rooted at the source, then delete every
+/// edge not contained in some source-to-sink path. The simplest
+/// arborescence baseline: optimal pathlengths, no wirelength sharing beyond
+/// what the SPT happens to provide.
+///
+/// net[0] is the source; the remaining entries are sinks.
+RoutingTree djka(const Graph& g, std::span<const NodeId> net, PathOracle& oracle);
+
+RoutingTree djka(const Graph& g, std::span<const NodeId> net);
+
+}  // namespace fpr

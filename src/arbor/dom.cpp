@@ -1,0 +1,53 @@
+#include "arbor/dom.hpp"
+
+#include <vector>
+
+#include "arbor/arbor_common.hpp"
+
+namespace fpr {
+
+RoutingTree dom(const Graph& g, std::span<const NodeId> net, PathOracle& oracle) {
+  if (net.empty()) return RoutingTree(g, {});
+  const std::vector<NodeId> terminals = canonical_terminals(net[0], net);
+  const NodeId source = terminals[0];
+  const auto& from_source = oracle.from(source);
+
+  std::vector<EdgeId> union_edges;
+  for (std::size_t i = 1; i < terminals.size(); ++i) {
+    const NodeId s = terminals[i];
+    if (!from_source.reached(s)) continue;
+    const Weight ds = from_source.distance(s);
+
+    // The closest terminal that s dominates, i.e. a u with
+    // d(n0, s) = d(n0, u) + d(u, s) minimizing d(u, s). The source itself
+    // always qualifies (at d(n0, s)), so `best` is always found. Ties prefer
+    // the u nearer the source, which avoids zero-length mutual-domination
+    // cycles when the graph has zero-weight edges.
+    NodeId best = kInvalidNode;
+    Weight best_gap = kInfiniteWeight;
+    Weight best_du = kInfiniteWeight;
+    for (const NodeId u : terminals) {
+      if (u == s || !from_source.reached(u)) continue;
+      const Weight du = from_source.distance(u);
+      const Weight gap = oracle.distance(u, s);
+      if (!weight_eq(ds, du + gap)) continue;  // s does not dominate u
+      if (weight_lt(gap, best_gap) || (weight_eq(gap, best_gap) && weight_lt(du, best_du))) {
+        best = u;
+        best_gap = gap;
+        best_du = du;
+      }
+    }
+    const auto path = oracle.path_between(best, s);
+    union_edges.insert(union_edges.end(), path.begin(), path.end());
+  }
+
+  return arborescence_from_union(g, source, std::span(terminals).subspan(1),
+                                 std::move(union_edges), oracle);
+}
+
+RoutingTree dom(const Graph& g, std::span<const NodeId> net) {
+  PathOracle oracle(g);
+  return dom(g, net, oracle);
+}
+
+}  // namespace fpr

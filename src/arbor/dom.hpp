@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// The DOM spanning-arborescence heuristic (Section 4.2): the PFA heuristic
+/// restricted so that merge points come from the net itself. Each sink is
+/// connected by a shortest path to the closest source/sink that it
+/// dominates, and the final tree is the shortest-paths tree over the union
+/// of those paths. Every source-sink path in the result has optimal length.
+///
+/// net[0] is the source; the remaining entries are sinks.
+RoutingTree dom(const Graph& g, std::span<const NodeId> net, PathOracle& oracle);
+
+RoutingTree dom(const Graph& g, std::span<const NodeId> net);
+
+}  // namespace fpr

@@ -1,0 +1,54 @@
+#include "arbor/dominance.hpp"
+
+namespace fpr {
+
+bool dominates(PathOracle& oracle, NodeId source, NodeId p, NodeId s) {
+  const auto& from_source = oracle.from(source);
+  if (!from_source.reached(p) || !from_source.reached(s)) return false;
+  const Weight sp = oracle.from(p).distance(s);  // d(s, p), undirected
+  return weight_eq(from_source.distance(p), from_source.distance(s) + sp);
+}
+
+namespace {
+
+/// Shared scan: the farthest-from-source node among `count` candidates
+/// produced by a generator, dominated by both p and q.
+template <typename NextNode>
+NodeId max_dom_scan(PathOracle& oracle, NodeId source, NodeId p, NodeId q, NodeId count,
+                    NextNode&& node_of) {
+  const auto& from_source = oracle.from(source);
+  if (!from_source.reached(p) || !from_source.reached(q)) return kInvalidNode;
+  const auto& from_p = oracle.from(p);
+  const auto& from_q = oracle.from(q);
+  const Weight dp = from_source.distance(p);
+  const Weight dq = from_source.distance(q);
+
+  NodeId best = kInvalidNode;
+  Weight best_dist = -1;
+  for (NodeId i = 0; i < count; ++i) {
+    const NodeId v = node_of(i);
+    if (v == kInvalidNode || !from_source.reached(v)) continue;
+    const Weight dv = from_source.distance(v);
+    if (dv <= best_dist) continue;  // cannot beat the incumbent
+    if (weight_eq(dp, dv + from_p.distance(v)) && weight_eq(dq, dv + from_q.distance(v))) {
+      best = v;
+      best_dist = dv;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+NodeId max_dom(const Graph& g, PathOracle& oracle, NodeId source, NodeId p, NodeId q) {
+  return max_dom_scan(oracle, source, p, q, g.node_count(),
+                      [&](NodeId i) { return g.node_active(i) ? i : kInvalidNode; });
+}
+
+NodeId max_dom_within(PathOracle& oracle, NodeId source, NodeId p, NodeId q,
+                      std::span<const NodeId> candidates) {
+  return max_dom_scan(oracle, source, p, q, static_cast<NodeId>(candidates.size()),
+                      [&](NodeId i) { return candidates[static_cast<std::size_t>(i)]; });
+}
+
+}  // namespace fpr

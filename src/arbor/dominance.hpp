@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+
+#include "graph/path_oracle.hpp"
+
+namespace fpr {
+
+/// Definition 4.1: p dominates s (w.r.t. source n0) iff
+///   minpath(n0, p) = minpath(n0, s) + minpath(s, p),
+/// i.e. some shortest path from the source to p passes through s.
+///
+/// Implementation detail: the test reads d(s, p) from p's SSSP tree (the
+/// graph is undirected), so callers only ever need Dijkstra runs from the
+/// source and from p — never from arbitrary probe nodes s.
+bool dominates(PathOracle& oracle, NodeId source, NodeId p, NodeId s);
+
+/// MaxDom(p, q): among all active graph nodes dominated by both p and q,
+/// the one farthest from the source (maximal minpath(n0, v)); ties broken
+/// by smaller node id. Always well-defined when p and q are reachable
+/// (the source dominates itself and is dominated by everything reachable);
+/// returns kInvalidNode if p or q is unreachable from the source.
+NodeId max_dom(const Graph& g, PathOracle& oracle, NodeId source, NodeId p, NodeId q);
+
+/// MaxDom restricted to a candidate node set (the DOM heuristic constrains
+/// MaxDom to the net N rather than all of V).
+NodeId max_dom_within(PathOracle& oracle, NodeId source, NodeId p, NodeId q,
+                      std::span<const NodeId> candidates);
+
+}  // namespace fpr

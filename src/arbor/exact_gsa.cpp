@@ -1,0 +1,150 @@
+#include "arbor/exact_gsa.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "arbor/arbor_common.hpp"
+
+namespace fpr {
+
+namespace {
+
+struct Choice {
+  enum class Kind : std::uint8_t { kNone, kLeaf, kMerge, kEdge };
+  Kind kind = Kind::kNone;
+  std::uint32_t sub = 0;       // kMerge: one side of the split
+  NodeId child = kInvalidNode;  // kEdge: tree hangs below this neighbor
+  EdgeId edge = kInvalidEdge;   // kEdge
+};
+
+/// Directed tight edge u -> v (the tree grows away from the source).
+struct TightEdge {
+  NodeId v;
+  EdgeId id;
+  Weight w;
+};
+
+}  // namespace
+
+std::optional<RoutingTree> exact_gsa(const Graph& g, std::span<const NodeId> net,
+                                     PathOracle& oracle, int max_terminals) {
+  if (net.empty()) return RoutingTree(g, {});
+  const std::vector<NodeId> terminals = canonical_terminals(net[0], net);
+  const NodeId source = terminals[0];
+  const int k = static_cast<int>(terminals.size()) - 1;  // sinks only
+  if (k > max_terminals) return std::nullopt;
+  if (k == 0) return RoutingTree(g, {});
+
+  const auto& dist = oracle.from(source);
+  for (const NodeId t : terminals) {
+    if (!dist.reached(t)) return std::nullopt;
+  }
+
+  // Tight-edge adjacency, indexed by the parent endpoint u: edge u -> v is
+  // usable by an arborescence iff d(v) = d(u) + w.
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::vector<TightEdge>> out(n);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!g.edge_usable(e)) continue;
+    const auto& ed = g.edge(e);
+    if (!dist.reached(ed.u) || !dist.reached(ed.v)) continue;
+    const Weight w = ed.weight;
+    if (weight_eq(dist.distance(ed.v), dist.distance(ed.u) + w)) {
+      out[static_cast<std::size_t>(ed.u)].push_back(TightEdge{ed.v, e, w});
+    }
+    if (weight_eq(dist.distance(ed.u), dist.distance(ed.v) + w)) {
+      out[static_cast<std::size_t>(ed.v)].push_back(TightEdge{ed.u, e, w});
+    }
+  }
+  // Reverse adjacency for the relaxation dp[mask][u] <- dp[mask][v] + w(u->v).
+  std::vector<std::vector<TightEdge>> in(n);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const auto& te : out[static_cast<std::size_t>(u)]) {
+      in[static_cast<std::size_t>(te.v)].push_back(TightEdge{u, te.id, te.w});
+    }
+  }
+
+  const std::uint32_t full = (1u << k) - 1;
+  std::vector<std::vector<Weight>> dp(full + 1, std::vector<Weight>(n, kInfiniteWeight));
+  std::vector<std::vector<Choice>> choice(full + 1, std::vector<Choice>(n));
+  for (int i = 0; i < k; ++i) {
+    const auto s = static_cast<std::size_t>(terminals[static_cast<std::size_t>(i) + 1]);
+    dp[1u << i][s] = 0;
+    choice[1u << i][s].kind = Choice::Kind::kLeaf;
+  }
+
+  using Entry = std::pair<Weight, NodeId>;
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    auto& row = dp[mask];
+    auto& ch = choice[mask];
+    for (std::uint32_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
+      const std::uint32_t rest = mask ^ sub;
+      if (sub > rest) continue;
+      const auto& a = dp[sub];
+      const auto& b = dp[rest];
+      for (std::size_t v = 0; v < n; ++v) {
+        const Weight c = a[v] + b[v];
+        if (c < row[v]) {
+          row[v] = c;
+          ch[v] = Choice{Choice::Kind::kMerge, sub, kInvalidNode, kInvalidEdge};
+        }
+      }
+    }
+    // Grow the rooted tree upward (toward the source) along tight edges.
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (row[v] < kInfiniteWeight) heap.emplace(row[v], static_cast<NodeId>(v));
+    }
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > row[static_cast<std::size_t>(v)]) continue;
+      for (const auto& te : in[static_cast<std::size_t>(v)]) {
+        const Weight nd = d + te.w;
+        auto& du = row[static_cast<std::size_t>(te.v)];
+        if (nd < du) {
+          du = nd;
+          choice[mask][static_cast<std::size_t>(te.v)] =
+              Choice{Choice::Kind::kEdge, 0, v, te.id};
+          heap.emplace(nd, te.v);
+        }
+      }
+    }
+  }
+
+  if (dp[full][static_cast<std::size_t>(source)] >= kInfiniteWeight) return std::nullopt;
+
+  std::vector<EdgeId> edges;
+  std::vector<std::pair<std::uint32_t, NodeId>> stack{{full, source}};
+  while (!stack.empty()) {
+    const auto [mask, v] = stack.back();
+    stack.pop_back();
+    const Choice& c = choice[mask][static_cast<std::size_t>(v)];
+    switch (c.kind) {
+      case Choice::Kind::kLeaf:
+        break;
+      case Choice::Kind::kMerge:
+        stack.emplace_back(c.sub, v);
+        stack.emplace_back(mask ^ c.sub, v);
+        break;
+      case Choice::Kind::kEdge:
+        edges.push_back(c.edge);
+        stack.emplace_back(mask, c.child);
+        break;
+      case Choice::Kind::kNone:
+        assert(false && "reconstruction reached an unset dp cell");
+        break;
+    }
+  }
+  return RoutingTree(g, std::move(edges));
+}
+
+std::optional<RoutingTree> exact_gsa(const Graph& g, std::span<const NodeId> net,
+                                     int max_terminals) {
+  PathOracle oracle(g);
+  return exact_gsa(g, net, oracle, max_terminals);
+}
+
+}  // namespace fpr

@@ -1,0 +1,87 @@
+#include "arbor/pfa.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "arbor/arbor_common.hpp"
+#include "arbor/dominance.hpp"
+
+namespace fpr {
+
+RoutingTree pfa(const Graph& g, std::span<const NodeId> net, PathOracle& oracle) {
+  if (net.empty()) return RoutingTree(g, {});
+  const std::vector<NodeId> terminals = canonical_terminals(net[0], net);
+  const NodeId source = terminals[0];
+  const auto& from_source = oracle.from(source);
+
+  // Unreachable sinks cannot participate in folding; they are simply not
+  // spanned (callers detect this via RoutingTree::spans()).
+  std::vector<NodeId> active;
+  for (const NodeId t : terminals) {
+    if (from_source.reached(t)) active.push_back(t);
+  }
+
+  struct Merge {
+    NodeId meet, p, q;
+  };
+  std::vector<Merge> merges;
+  merges.reserve(active.size());
+
+  // Fold until one representative remains. Each iteration removes one node,
+  // and any pair involving the source merges into the source itself, so
+  // progress is guaranteed.
+  while (active.size() > 1) {
+    NodeId best_m = kInvalidNode;
+    Weight best_dist = -1;
+    std::size_t best_i = 0, best_j = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const NodeId m = max_dom(g, oracle, source, active[i], active[j]);
+        if (m == kInvalidNode) continue;
+        const Weight dm = from_source.distance(m);
+        if (dm > best_dist || (dm == best_dist && m < best_m)) {
+          best_dist = dm;
+          best_m = m;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    assert(best_m != kInvalidNode && "reachable nodes always share the source as a MaxDom");
+    merges.push_back(Merge{best_m, active[best_i], active[best_j]});
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_j));
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_i));
+    active.push_back(best_m);
+  }
+
+  // RSA-style assembly [32]: connect every MaxDom meeting point to the pair
+  // it replaced, by shortest paths. Each connected node sits "above" its
+  // meet (the meet is dominated by both pair members), so path costs
+  // telescope and every source-sink distance stays shortest. The merge
+  // hierarchy bottoms out at the source, so the union is connected by
+  // construction.
+  std::vector<EdgeId> union_edges;
+  for (const auto& merge : merges) {
+    for (const NodeId endpoint : {merge.p, merge.q}) {
+      if (endpoint == merge.meet) continue;
+      const auto path = oracle.path_between(merge.meet, endpoint);
+      union_edges.insert(union_edges.end(), path.begin(), path.end());
+    }
+  }
+  if (!active.empty() && active.front() != source) {
+    // Lone representative left over (happens only when the source was
+    // unreachable-degenerate); tie it to the source directly.
+    const auto path = oracle.path_between(source, active.front());
+    union_edges.insert(union_edges.end(), path.begin(), path.end());
+  }
+
+  return arborescence_from_union(g, source, std::span(terminals).subspan(1),
+                                 std::move(union_edges), oracle);
+}
+
+RoutingTree pfa(const Graph& g, std::span<const NodeId> net) {
+  PathOracle oracle(g);
+  return pfa(g, net, oracle);
+}
+
+}  // namespace fpr

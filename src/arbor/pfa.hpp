@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// The Path-Folding Arborescence heuristic (Section 4.1, Figure 9) — the
+/// graph generalization of the RSA construction of Rao et al. [32].
+///
+/// Maintains an active set initialized to the net; repeatedly picks the pair
+/// {p, q} whose MaxDom(p, q) lies farthest from the source and replaces the
+/// pair with that merge point. The final tree connects every meeting point
+/// to the pair it replaced by shortest paths (the RSA assembly rule, which
+/// keeps the union connected even with zero-weight edges) and extracts the
+/// shortest-paths tree of the union, so every source-sink pathlength is
+/// optimal while folded paths share wire.
+///
+/// Worst cases: Theta(|N|) x optimal on arbitrary weighted graphs (Fig. 10)
+/// and 2x optimal on grids (Fig. 11); both are exercised in the tests and
+/// the fig10_11_14 bench.
+///
+/// net[0] is the source; the remaining entries are sinks.
+RoutingTree pfa(const Graph& g, std::span<const NodeId> net, PathOracle& oracle);
+
+RoutingTree pfa(const Graph& g, std::span<const NodeId> net);
+
+}  // namespace fpr

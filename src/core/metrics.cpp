@@ -1,0 +1,44 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace fpr {
+
+TreeMetrics measure(const Graph& g, const Net& net, const RoutingTree& tree, PathOracle& oracle) {
+  (void)g;
+  TreeMetrics m;
+  m.wirelength = tree.cost();
+  const std::vector<NodeId> terminals = net.terminals();
+  m.spans_net = tree.spans(terminals);
+  m.max_pathlength = tree.max_path_length(net.source, net.sinks);
+
+  const auto& spt = oracle.from(net.source);
+  Weight opt = 0;
+  bool all_reachable = true;
+  for (const NodeId s : net.sinks) {
+    if (!spt.reached(s)) {
+      all_reachable = false;
+      continue;
+    }
+    opt = std::max(opt, spt.distance(s));
+  }
+  m.optimal_max_pathlength = all_reachable ? opt : kInfiniteWeight;
+
+  m.shortest_paths = m.spans_net && all_reachable;
+  if (m.shortest_paths) {
+    for (const NodeId s : net.sinks) {
+      if (!weight_eq(tree.path_length(net.source, s), spt.distance(s))) {
+        m.shortest_paths = false;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+double percent_vs(Weight value, Weight reference) {
+  if (reference == 0) return 0;
+  return 100.0 * (value - reference) / reference;
+}
+
+}  // namespace fpr

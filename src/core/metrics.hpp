@@ -1,0 +1,28 @@
+#pragma once
+
+#include "core/net.hpp"
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// The two quality measures of the paper's evaluation (Table 1), plus the
+/// flags the tests assert on.
+struct TreeMetrics {
+  Weight wirelength = 0;            // total tree cost
+  Weight max_pathlength = 0;        // worst source-sink pathlength in the tree
+  Weight optimal_max_pathlength = 0;  // max over sinks of minpath_G(n0, sink)
+  bool spans_net = false;
+  bool shortest_paths = false;  // every sink reached at graph distance
+};
+
+/// Measures a routing tree against its net. Uses the oracle's SSSP tree from
+/// the net's source for the optimality references.
+TreeMetrics measure(const Graph& g, const Net& net, const RoutingTree& tree, PathOracle& oracle);
+
+/// Percent delta of `value` w.r.t. `reference`, as Table 1 reports it:
+/// positive = disimprovement, negative = improvement. Returns 0 when the
+/// reference is zero (both costs then equal on meaningful inputs).
+double percent_vs(Weight value, Weight reference);
+
+}  // namespace fpr

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace fpr {
+
+/// A net N = {n0, n1, ..., nk}: a set of pins to be electrically connected,
+/// where n0 is the signal source and the rest are sinks (Section 2).
+struct Net {
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> sinks;
+
+  /// Source followed by sinks — the order every fpr algorithm expects.
+  std::vector<NodeId> terminals() const {
+    std::vector<NodeId> t{source};
+    t.insert(t.end(), sinks.begin(), sinks.end());
+    return t;
+  }
+
+  int pin_count() const { return 1 + static_cast<int>(sinks.size()); }
+};
+
+}  // namespace fpr

@@ -1,0 +1,148 @@
+#include "experiments/figures.hpp"
+
+#include <random>
+
+#include "analysis/table.hpp"
+#include "arbor/exact_gsa.hpp"
+#include "core/metrics.hpp"
+#include "graph/grid.hpp"
+#include "steiner/exact_gmst.hpp"
+#include "workload/random_nets.hpp"
+#include "workload/worstcase.hpp"
+
+namespace fpr {
+
+Fig4Result run_fig4() {
+  // Deterministic search over random four-pin nets on a 6x6 grid for an
+  // instance with the figure's structure: KMB loses wirelength to the
+  // (optimal) iterated construction AND DJKA loses wirelength to the
+  // (optimal) IDOM arborescence, while KMB's tree also has sub-optimal
+  // maximum pathlength.
+  std::mt19937_64 rng(4);
+  GridGraph grid(6, 6);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const Net net = random_grid_net(grid, 4, rng);
+    PathOracle oracle(grid.graph());
+    const auto kmb_tree = route(grid.graph(), net, Algorithm::kKmb, oracle);
+    const auto ikmb_tree = route(grid.graph(), net, Algorithm::kIkmb, oracle);
+    const auto djka_tree = route(grid.graph(), net, Algorithm::kDjka, oracle);
+    const auto idom_tree = route(grid.graph(), net, Algorithm::kIdom, oracle);
+    const auto opt_steiner = exact_gmst(grid.graph(), net.terminals(), oracle);
+    const auto opt_arb = exact_gsa(grid.graph(), net.terminals(), oracle);
+    if (!opt_steiner || !opt_arb) continue;
+
+    const auto km = measure(grid.graph(), net, kmb_tree, oracle);
+    const auto im = measure(grid.graph(), net, ikmb_tree, oracle);
+    const auto dm = measure(grid.graph(), net, djka_tree, oracle);
+    const auto om = measure(grid.graph(), net, idom_tree, oracle);
+
+    const bool figure_shape = weight_lt(im.wirelength, km.wirelength) &&
+                              weight_eq(im.wirelength, opt_steiner->cost()) &&
+                              weight_eq(om.wirelength, opt_arb->cost()) &&
+                              weight_lt(om.wirelength, dm.wirelength) &&
+                              weight_lt(om.max_pathlength, km.max_pathlength);
+    if (!figure_shape) continue;
+
+    Fig4Result r;
+    r.kmb_wire = km.wirelength;
+    r.ikmb_wire = im.wirelength;
+    r.opt_steiner_wire = opt_steiner->cost();
+    r.djka_wire = dm.wirelength;
+    r.idom_wire = om.wirelength;
+    r.opt_arb_wire = opt_arb->cost();
+    r.kmb_max_path = km.max_pathlength;
+    r.ikmb_max_path = im.max_pathlength;
+    r.djka_max_path = dm.max_pathlength;
+    r.idom_max_path = om.max_pathlength;
+    r.optimal_max_path = om.optimal_max_pathlength;
+    r.kmb_wire_overhead_pct = percent_vs(km.wirelength, im.wirelength);
+    r.ikmb_path_improvement_pct = -percent_vs(im.max_pathlength, km.max_pathlength);
+    r.idom_path_improvement_pct = -percent_vs(om.max_pathlength, km.max_pathlength);
+    return r;
+  }
+  return Fig4Result{};  // search space exhausted (does not happen in practice)
+}
+
+std::string render_fig4(const Fig4Result& r) {
+  TextTable table({"Solution", "Wirelength", "Max pathlength"});
+  table.add_row({"KMB (Steiner heuristic)", format_fixed(r.kmb_wire, 0),
+                 format_fixed(r.kmb_max_path, 0)});
+  table.add_row({"IGMST/IKMB (optimal Steiner here)", format_fixed(r.ikmb_wire, 0),
+                 format_fixed(r.ikmb_max_path, 0)});
+  table.add_row({"DJKA (arborescence baseline)", format_fixed(r.djka_wire, 0),
+                 format_fixed(r.djka_max_path, 0)});
+  table.add_row({"IDOM (optimal arborescence here)", format_fixed(r.idom_wire, 0),
+                 format_fixed(r.idom_max_path, 0)});
+  std::string out = table.render();
+  out += "KMB wirelength overhead vs IGMST: +" + format_fixed(r.kmb_wire_overhead_pct, 1) +
+         "% (paper example: +12.5%)\n";
+  out += "Max-pathlength improvement IGMST vs KMB: " +
+         format_fixed(r.ikmb_path_improvement_pct, 1) + "% (paper example: 25%)\n";
+  out += "Max-pathlength improvement IDOM vs KMB: " +
+         format_fixed(r.idom_path_improvement_pct, 1) + "% (paper example: 50%)\n";
+  out += "IDOM wins on both metrics simultaneously, as in Fig. 4(d).\n";
+  return out;
+}
+
+std::vector<RatioPoint> run_fig10(const std::vector<int>& sink_pairs) {
+  std::vector<RatioPoint> points;
+  for (const int pairs : sink_pairs) {
+    auto inst = pfa_weighted_worst_case(pairs);
+    PathOracle oracle(inst.graph);
+    const auto tree = route(inst.graph, inst.net, Algorithm::kPfa, oracle);
+    RatioPoint p;
+    p.n = 2 * pairs;
+    p.heuristic_cost = tree.cost();
+    p.optimal_cost = inst.optimal_cost;
+    p.ratio = p.heuristic_cost / p.optimal_cost;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<RatioPoint> run_fig11(const std::vector<int>& steps) {
+  std::vector<RatioPoint> points;
+  for (const int s : steps) {
+    auto inst = pfa_staircase(s);
+    PathOracle oracle(inst.grid.graph());
+    const auto tree = route(inst.grid.graph(), inst.net, Algorithm::kPfa, oracle);
+    const auto opt = exact_gsa(inst.grid.graph(), inst.net.terminals(), oracle);
+    if (!opt) continue;
+    RatioPoint p;
+    p.n = s;
+    p.heuristic_cost = tree.cost();
+    p.optimal_cost = opt->cost();
+    p.ratio = p.heuristic_cost / p.optimal_cost;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<RatioPoint> run_fig14(const std::vector<int>& levels) {
+  std::vector<RatioPoint> points;
+  for (const int l : levels) {
+    auto inst = idom_set_cover_worst_case(l);
+    PathOracle oracle(inst.graph);
+    const auto tree = route(inst.graph, inst.net, Algorithm::kIdom, oracle);
+    RatioPoint p;
+    p.n = 1 << (l + 1);  // sinks
+    p.heuristic_cost = tree.cost();
+    p.optimal_cost = inst.optimal_cost;
+    p.ratio = p.heuristic_cost / p.optimal_cost;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::string render_ratio_sweep(const std::string& title, const std::vector<RatioPoint>& points) {
+  std::string out = title + "\n";
+  TextTable table({"n", "heuristic cost", "optimal cost", "ratio"});
+  for (const RatioPoint& p : points) {
+    table.add_row({std::to_string(p.n), format_fixed(p.heuristic_cost, 3),
+                   format_fixed(p.optimal_cost, 3), format_fixed(p.ratio, 3)});
+  }
+  out += table.render();
+  return out;
+}
+
+}  // namespace fpr

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/route.hpp"
+
+namespace fpr {
+
+/// Figure 4: a four-pin net routed four ways — KMB (sub-optimal Steiner),
+/// IGMST (optimal here), DJKA (sub-optimal arborescence), IDOM (optimal
+/// arborescence) — with the wirelength/pathlength percentages the figure
+/// calls out.
+struct Fig4Result {
+  Weight kmb_wire = 0, ikmb_wire = 0, opt_steiner_wire = 0;
+  Weight djka_wire = 0, idom_wire = 0, opt_arb_wire = 0;
+  Weight kmb_max_path = 0, ikmb_max_path = 0, djka_max_path = 0, idom_max_path = 0;
+  Weight optimal_max_path = 0;
+  double kmb_wire_overhead_pct = 0;       // paper example: 12.5%
+  double ikmb_path_improvement_pct = 0;   // paper example: 25%
+  double idom_path_improvement_pct = 0;   // paper example: 50%
+};
+
+/// Searches small grid instances (deterministically) for a four-pin net
+/// exhibiting the figure's qualitative structure: KMB beaten by IGMST on
+/// wirelength, DJKA beaten by IDOM, IGMST/IDOM optimal.
+Fig4Result run_fig4();
+std::string render_fig4(const Fig4Result& result);
+
+/// One point of a worst-case ratio sweep (Figures 10, 11, 14).
+struct RatioPoint {
+  int n = 0;  // instance size parameter (sinks / steps / levels)
+  double heuristic_cost = 0;
+  double optimal_cost = 0;
+  double ratio = 0;
+};
+
+/// Figure 10: PFA on the weighted-graph gadget — ratio grows linearly.
+std::vector<RatioPoint> run_fig10(const std::vector<int>& sink_pairs);
+
+/// Figure 11: PFA on the grid staircase — ratio approaches 2 (optimal via
+/// the exact GSA solver, so steps is capped by the subset-DP limit).
+std::vector<RatioPoint> run_fig11(const std::vector<int>& steps);
+
+/// Figure 14: IDOM on the Set-Cover gadget — ratio grows logarithmically
+/// in the number of sinks.
+std::vector<RatioPoint> run_fig14(const std::vector<int>& levels);
+
+std::string render_ratio_sweep(const std::string& title, const std::vector<RatioPoint>& points);
+
+}  // namespace fpr

@@ -1,0 +1,134 @@
+#include "experiments/table1.hpp"
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/metrics.hpp"
+#include "workload/random_nets.hpp"
+
+namespace fpr {
+
+Table1Result run_table1(const Table1Options& options) {
+  Table1Result result;
+  result.options = options;
+  const auto algorithms = table1_algorithms();
+
+  for (const CongestionLevel& level : options.levels) {
+    Table1Block block;
+    block.level = level;
+    block.cells.assign(algorithms.size(),
+                       std::vector<Table1Cell>(options.net_sizes.size()));
+    RunningStat weight_stat;
+
+    for (std::size_t size_idx = 0; size_idx < options.net_sizes.size(); ++size_idx) {
+      const int pins = options.net_sizes[size_idx];
+      // Per-config deterministic stream: seed mixes level and net size.
+      std::mt19937_64 rng(options.seed * 7919u + level.pre_routed_nets * 131u +
+                          static_cast<unsigned>(pins));
+      std::vector<RunningStat> wire_pct(algorithms.size());
+      std::vector<RunningStat> path_pct(algorithms.size());
+
+      for (int trial = 0; trial < options.nets_per_config; ++trial) {
+        // A freshly congested graph per net, per the paper.
+        GridGraph grid = make_congested_grid(options.grid_width, options.grid_height,
+                                             level.pre_routed_nets, rng);
+        weight_stat.add(grid.graph().mean_active_edge_weight());
+        const Net net = random_grid_net(grid, pins, rng);
+
+        PathOracle oracle(grid.graph());
+        // KMB is both a measured row and the wirelength normalizer.
+        const RoutingTree kmb_tree = route(grid.graph(), net, Algorithm::kKmb, oracle,
+                                           options.route_options);
+        const TreeMetrics kmb_metrics = measure(grid.graph(), net, kmb_tree, oracle);
+
+        for (std::size_t a = 0; a < algorithms.size(); ++a) {
+          const Algorithm algo = algorithms[a];
+          const RoutingTree tree =
+              algo == Algorithm::kKmb
+                  ? kmb_tree
+                  : route(grid.graph(), net, algo, oracle, options.route_options);
+          const TreeMetrics m = measure(grid.graph(), net, tree, oracle);
+          wire_pct[a].add(percent_vs(m.wirelength, kmb_metrics.wirelength));
+          path_pct[a].add(percent_vs(m.max_pathlength, m.optimal_max_pathlength));
+        }
+      }
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        block.cells[a][size_idx] =
+            Table1Cell{wire_pct[a].mean(), path_pct[a].mean()};
+      }
+    }
+    block.measured_mean_edge_weight = weight_stat.mean();
+    result.blocks.push_back(std::move(block));
+  }
+  return result;
+}
+
+std::string render_table1(const Table1Result& result) {
+  std::string out;
+  const auto algorithms = table1_algorithms();
+  for (const Table1Block& block : result.blocks) {
+    out += "Congestion: " + std::string(block.level.label) + " (k=" +
+           std::to_string(block.level.pre_routed_nets) +
+           " pre-routed nets), measured mean edge weight " +
+           format_fixed(block.measured_mean_edge_weight) + " (paper: " +
+           format_fixed(block.level.paper_mean_weight) + ")\n";
+
+    std::vector<std::string> headers{"Algorithm"};
+    for (const int pins : result.options.net_sizes) {
+      headers.push_back(std::to_string(pins) + "-pin Wire% (vs KMB)");
+      headers.push_back(std::to_string(pins) + "-pin MaxPath% (vs OPT)");
+    }
+    TextTable table(headers);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      std::vector<std::string> row{std::string(algorithm_name(algorithms[a]))};
+      for (std::size_t s = 0; s < result.options.net_sizes.size(); ++s) {
+        row.push_back(format_fixed(block.cells[a][s].wirelength_pct));
+        row.push_back(format_fixed(block.cells[a][s].max_path_pct));
+      }
+      table.add_row(std::move(row));
+    }
+    out += table.render();
+    out += "\n";
+  }
+  return out;
+}
+
+const std::vector<std::vector<Table1PaperRow>>& table1_paper_values() {
+  static const std::vector<std::vector<Table1PaperRow>> kPaper{
+      // No congestion (w-bar = 1.00)
+      {
+          {"KMB", 0.00, 23.51, 0.00, 40.30},
+          {"ZEL", -6.22, 11.07, -7.85, 23.42},
+          {"IKMB", -6.47, 10.83, -8.19, 24.04},
+          {"IZEL", -6.79, 8.85, -8.31, 21.47},
+          {"DJKA", 29.23, 0.00, 30.53, 0.00},
+          {"DOM", 17.51, 0.00, 18.48, 0.00},
+          {"PFA", -5.59, 0.00, -5.02, 0.00},
+          {"IDOM", -5.59, 0.00, -4.89, 0.00},
+      },
+      // Low congestion (k=10, w-bar = 1.28)
+      {
+          {"KMB", 0.00, 27.61, 0.00, 47.66},
+          {"ZEL", -4.64, 19.14, -4.10, 34.17},
+          {"IKMB", -5.68, 17.12, -4.50, 33.35},
+          {"IZEL", -5.98, 14.56, -5.52, 22.29},
+          {"DJKA", 26.64, 0.00, 32.48, 0.00},
+          {"DOM", 22.27, 0.00, 28.09, 0.00},
+          {"PFA", 8.95, 0.00, 13.91, 0.00},
+          {"IDOM", 8.95, 0.00, 13.91, 0.00},
+      },
+      // Medium congestion (k=20, w-bar = 1.55)
+      {
+          {"KMB", 0.00, 30.67, 0.00, 52.67},
+          {"ZEL", -4.37, 21.54, -3.35, 44.95},
+          {"IKMB", -5.09, 17.77, -4.42, 42.42},
+          {"IZEL", -5.57, 15.26, -4.97, 40.20},
+          {"DJKA", 22.94, 0.00, 36.79, 0.00},
+          {"DOM", 21.78, 0.00, 33.89, 0.00},
+          {"PFA", 13.93, 0.00, 22.65, 0.00},
+          {"IDOM", 13.93, 0.00, 22.59, 0.00},
+      },
+  };
+  return kPaper;
+}
+
+}  // namespace fpr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/route.hpp"
+#include "workload/congestion_model.hpp"
+
+namespace fpr {
+
+/// Configuration of the Table 1 experiment: "For each of these three
+/// congestion levels and net size (5 and 8 pins), 50 uniformly-distributed
+/// nets were routed on a congested graph (newly-generated for each net),
+/// using all eight algorithms."
+struct Table1Options {
+  int grid_width = 20;
+  int grid_height = 20;
+  int nets_per_config = 50;
+  std::vector<int> net_sizes{5, 8};
+  std::vector<CongestionLevel> levels{congestion_none(), congestion_low(),
+                                      congestion_medium()};
+  unsigned seed = 1995;
+  /// Candidate strategy for the iterated constructions. The paper's
+  /// template scans all of V - N; on a 20x20 grid that is affordable and is
+  /// the default here.
+  RouteOptions route_options{CandidateStrategy::kAllNodes, 0, 0};
+};
+
+/// One algorithm's averages at one (congestion level, net size): wirelength
+/// percent w.r.t. KMB, max pathlength percent w.r.t. optimal.
+struct Table1Cell {
+  double wirelength_pct = 0;
+  double max_path_pct = 0;
+};
+
+/// One congestion level's block of Table 1.
+struct Table1Block {
+  CongestionLevel level;
+  double measured_mean_edge_weight = 0;  // averaged over the generated graphs
+  /// cells[a][s]: algorithm a (table1_algorithms() order), net size index s.
+  std::vector<std::vector<Table1Cell>> cells;
+};
+
+struct Table1Result {
+  Table1Options options;
+  std::vector<Table1Block> blocks;
+};
+
+Table1Result run_table1(const Table1Options& options = {});
+
+/// Renders the result in the paper's layout.
+std::string render_table1(const Table1Result& result);
+
+/// The paper's reported Table 1 numbers (for the EXPERIMENTS.md
+/// paper-vs-measured record): values[level][algorithm] with columns
+/// (wire% 5-pin, path% 5-pin, wire% 8-pin, path% 8-pin).
+struct Table1PaperRow {
+  const char* algorithm;
+  double wire5, path5, wire8, path8;
+};
+const std::vector<std::vector<Table1PaperRow>>& table1_paper_values();
+
+}  // namespace fpr

@@ -1,0 +1,135 @@
+#include "experiments/table45.hpp"
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "netlist/synth.hpp"
+
+namespace fpr {
+
+Table4Result run_table4(std::span<const CircuitProfile> profiles, const Table4Options& options) {
+  Table4Result result;
+  for (const CircuitProfile& profile : profiles) {
+    Table4Row row;
+    row.profile = profile;
+    const Circuit circuit = synthesize_circuit(profile, options.seed);
+    const ArchSpec base = arch_for(profile, ArchFamily::kXc4000);
+    WidthSearchOptions search;
+    search.max_width = options.max_width;
+
+    const auto width_for = [&](Algorithm algo) {
+      RouterOptions router;
+      router.algorithm = algo;
+      router.max_passes = options.max_passes;
+      return find_min_channel_width(base, circuit, router, search).min_width;
+    };
+    row.ikmb = width_for(Algorithm::kIkmb);
+    row.pfa = width_for(Algorithm::kPfa);
+    row.idom = width_for(Algorithm::kIdom);
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+std::string render_table4(const Table4Result& result) {
+  TextTable table({"Circuit", "SEGA(paper)", "GBP(paper)", "IKMB(paper)", "PFA(paper)",
+                   "IDOM(paper)", "IKMB(meas)", "PFA(meas)", "IDOM(meas)"});
+  int tot_ik = 0, tot_pf = 0, tot_id = 0;
+  bool valid = true;
+  for (const Table4Row& row : result.rows) {
+    const CircuitProfile& p = row.profile;
+    table.add_row({p.name, std::to_string(p.paper_sega), std::to_string(p.paper_gbp),
+                   std::to_string(p.paper_ikmb), std::to_string(p.paper_pfa),
+                   std::to_string(p.paper_idom),
+                   row.ikmb >= 0 ? std::to_string(row.ikmb) : "-",
+                   row.pfa >= 0 ? std::to_string(row.pfa) : "-",
+                   row.idom >= 0 ? std::to_string(row.idom) : "-"});
+    if (row.ikmb < 0 || row.pfa < 0 || row.idom < 0) valid = false;
+    tot_ik += std::max(row.ikmb, 0);
+    tot_pf += std::max(row.pfa, 0);
+    tot_id += std::max(row.idom, 0);
+  }
+  std::string out = table.render();
+  if (valid && tot_ik > 0) {
+    out += "Measured totals: IKMB " + std::to_string(tot_ik) + ", PFA " + std::to_string(tot_pf) +
+           " (ratio " + format_fixed(static_cast<double>(tot_pf) / tot_ik) + "), IDOM " +
+           std::to_string(tot_id) + " (ratio " +
+           format_fixed(static_cast<double>(tot_id) / tot_ik) +
+           "); paper ratios PFA 1.17, IDOM 1.13\n";
+  }
+  return out;
+}
+
+Table5Result run_table5(std::span<const CircuitProfile> profiles, const Table5Options& options) {
+  Table5Result result;
+  RunningStat pfa_wire, idom_wire, pfa_path, idom_path;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const CircuitProfile& profile = profiles[i];
+    Table5Row row;
+    row.profile = profile;
+    row.width = i < options.widths.size() ? options.widths[i] : profile.paper_table5_width;
+    if (row.width <= 0) continue;
+
+    const Circuit circuit = synthesize_circuit(profile, options.seed);
+    const ArchSpec arch = arch_for(profile, ArchFamily::kXc4000).with_width(row.width);
+
+    struct Totals {
+      bool success = false;
+      Weight wire = 0, path = 0;
+    };
+    // Compare on PHYSICAL metrics (wire hops), not the congestion-weighted
+    // routing metric: each algorithm's congestion evolves differently, and
+    // signal delay is physical pathlength.
+    const auto route_with = [&](Algorithm algo) {
+      RouterOptions router;
+      router.algorithm = algo;
+      router.max_passes = options.max_passes;
+      Device device(arch);
+      const RoutingResult r = route_circuit(device, circuit, router);
+      return Totals{r.success, static_cast<Weight>(r.total_physical_wirelength),
+                    static_cast<Weight>(r.total_physical_max_path)};
+    };
+    const Totals ikmb = route_with(Algorithm::kIkmb);
+    const Totals pfa = route_with(Algorithm::kPfa);
+    const Totals idom = route_with(Algorithm::kIdom);
+    row.all_routed = ikmb.success && pfa.success && idom.success;
+    if (row.all_routed && ikmb.wire > 0 && ikmb.path > 0) {
+      row.pfa_wire_pct = 100.0 * (pfa.wire - ikmb.wire) / ikmb.wire;
+      row.idom_wire_pct = 100.0 * (idom.wire - ikmb.wire) / ikmb.wire;
+      row.pfa_path_pct = 100.0 * (pfa.path - ikmb.path) / ikmb.path;
+      row.idom_path_pct = 100.0 * (idom.path - ikmb.path) / ikmb.path;
+      pfa_wire.add(row.pfa_wire_pct);
+      idom_wire.add(row.idom_wire_pct);
+      pfa_path.add(row.pfa_path_pct);
+      idom_path.add(row.idom_path_pct);
+    }
+    result.rows.push_back(row);
+  }
+  result.avg_pfa_wire = pfa_wire.mean();
+  result.avg_idom_wire = idom_wire.mean();
+  result.avg_pfa_path = pfa_path.mean();
+  result.avg_idom_path = idom_path.mean();
+  return result;
+}
+
+std::string render_table5(const Table5Result& result) {
+  TextTable table({"Circuit", "Width", "PFA Wire%", "IDOM Wire%", "PFA MaxPath%",
+                   "IDOM MaxPath%"});
+  for (const Table5Row& row : result.rows) {
+    if (!row.all_routed) {
+      table.add_row({row.profile.name, std::to_string(row.width), "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({row.profile.name, std::to_string(row.width),
+                   format_fixed(row.pfa_wire_pct, 1), format_fixed(row.idom_wire_pct, 1),
+                   format_fixed(row.pfa_path_pct, 1), format_fixed(row.idom_path_pct, 1)});
+  }
+  std::string out = table.render();
+  out += "Measured averages: PFA wire +" + format_fixed(result.avg_pfa_wire, 1) +
+         "%, IDOM wire +" + format_fixed(result.avg_idom_wire, 1) + "%, PFA maxpath " +
+         format_fixed(result.avg_pfa_path, 1) + "%, IDOM maxpath " +
+         format_fixed(result.avg_idom_path, 1) +
+         "%; paper: +18.2, +12.8, -9.5, -10.2\n";
+  return out;
+}
+
+}  // namespace fpr

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "experiments/tables23.hpp"
+
+namespace fpr {
+
+/// Table 4: minimum channel width per tree algorithm (IKMB vs PFA vs IDOM)
+/// on the 4000-series circuits. Both arborescence algorithms buy optimal
+/// source-sink pathlengths at some channel-width premium over IKMB.
+struct Table4Options {
+  unsigned seed = 1995;
+  int max_passes = 20;
+  int max_width = 30;
+};
+
+struct Table4Row {
+  CircuitProfile profile;
+  int ikmb = -1, pfa = -1, idom = -1;  // measured min widths
+};
+
+struct Table4Result {
+  std::vector<Table4Row> rows;
+};
+
+Table4Result run_table4(std::span<const CircuitProfile> profiles,
+                        const Table4Options& options = {});
+std::string render_table4(const Table4Result& result);
+
+/// Table 5: at a fixed per-circuit channel width (large enough for all
+/// three algorithms), the % wirelength increase and % max-pathlength
+/// decrease of PFA and IDOM relative to IKMB.
+struct Table5Options {
+  unsigned seed = 1995;
+  int max_passes = 20;
+  /// Per-circuit widths; empty = use the paper's Table 5 widths.
+  std::vector<int> widths;
+};
+
+struct Table5Row {
+  CircuitProfile profile;
+  int width = 0;
+  bool all_routed = false;
+  double pfa_wire_pct = 0, idom_wire_pct = 0;      // vs IKMB (positive = more wire)
+  double pfa_path_pct = 0, idom_path_pct = 0;      // vs IKMB (negative = shorter paths)
+};
+
+struct Table5Result {
+  std::vector<Table5Row> rows;
+  double avg_pfa_wire = 0, avg_idom_wire = 0, avg_pfa_path = 0, avg_idom_path = 0;
+};
+
+Table5Result run_table5(std::span<const CircuitProfile> profiles,
+                        const Table5Options& options = {});
+std::string render_table5(const Table5Result& result);
+
+}  // namespace fpr

@@ -1,0 +1,105 @@
+#include "experiments/tables23.hpp"
+
+#include "analysis/table.hpp"
+#include "netlist/synth.hpp"
+#include "router/baseline.hpp"
+
+namespace fpr {
+
+ArchSpec arch_for(const CircuitProfile& profile, ArchFamily family) {
+  switch (family) {
+    case ArchFamily::kXc3000:
+      return ArchSpec::xc3000(profile.rows, profile.cols, 1);
+    case ArchFamily::kXc4000:
+      return ArchSpec::xc4000(profile.rows, profile.cols, 1);
+  }
+  return ArchSpec::xc4000(profile.rows, profile.cols, 1);
+}
+
+WidthExperimentResult run_width_experiment(std::span<const CircuitProfile> profiles,
+                                           ArchFamily family,
+                                           const WidthExperimentOptions& options) {
+  WidthExperimentResult result;
+  result.family = family;
+  for (const CircuitProfile& profile : profiles) {
+    WidthRow row;
+    row.profile = profile;
+    const Circuit circuit = synthesize_circuit(profile, options.seed);
+    const ArchSpec base = arch_for(profile, family);
+    WidthSearchOptions search;
+    search.max_width = options.max_width;
+
+    RouterOptions ours;
+    ours.algorithm = options.algorithm;
+    ours.max_passes = options.max_passes;
+    auto ours_result = find_min_channel_width(base, circuit, ours, search);
+    row.ours = ours_result.min_width;
+    row.ours_at_min = std::move(ours_result.at_min_width);
+
+    if (options.run_baseline) {
+      RouterOptions baseline = two_pin_baseline_options();
+      baseline.max_passes = options.max_passes;
+      row.baseline = find_min_channel_width(base, circuit, baseline, search).min_width;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::string render_width_experiment(const WidthExperimentResult& result) {
+  const bool xc4000 = result.family == ArchFamily::kXc4000;
+  std::vector<std::string> headers{"Circuit", "Size", "#nets", "2-3", "4-10", ">10"};
+  if (xc4000) {
+    headers.insert(headers.end(), {"SEGA(paper)", "GBP(paper)"});
+  } else {
+    headers.push_back("CGE(paper)");
+  }
+  headers.insert(headers.end(),
+                 {"Ours(paper)", "Ours(measured)", "2-pin baseline(measured)"});
+
+  TextTable table(headers);
+  int total_paper_other = 0, total_paper_ours = 0, total_ours = 0, total_baseline = 0;
+  bool totals_valid = true;
+  for (const WidthRow& row : result.rows) {
+    const CircuitProfile& p = row.profile;
+    std::vector<std::string> cells{
+        p.name,
+        std::to_string(p.rows) + "x" + std::to_string(p.cols),
+        std::to_string(p.total_nets()),
+        std::to_string(p.nets_2_3),
+        std::to_string(p.nets_4_10),
+        std::to_string(p.nets_over_10),
+    };
+    if (xc4000) {
+      cells.push_back(std::to_string(p.paper_sega));
+      cells.push_back(std::to_string(p.paper_gbp));
+      total_paper_other += p.paper_sega;
+    } else {
+      cells.push_back(std::to_string(p.paper_cge));
+      total_paper_other += p.paper_cge;
+    }
+    cells.push_back(std::to_string(p.paper_ikmb));
+    cells.push_back(row.ours >= 0 ? std::to_string(row.ours) : "unroutable");
+    cells.push_back(row.baseline >= 0 ? std::to_string(row.baseline) : "-");
+    table.add_row(std::move(cells));
+
+    total_paper_ours += p.paper_ikmb;
+    if (row.ours < 0 || row.baseline < 0) totals_valid = false;
+    total_ours += std::max(row.ours, 0);
+    total_baseline += std::max(row.baseline, 0);
+  }
+
+  std::string out = table.render();
+  out += "Totals: paper other-router " + std::to_string(total_paper_other) +
+         ", paper ours " + std::to_string(total_paper_ours) + " (ratio " +
+         format_fixed(static_cast<double>(total_paper_other) / total_paper_ours) + ")";
+  if (totals_valid && total_ours > 0) {
+    out += "; measured ours " + std::to_string(total_ours) + ", measured 2-pin baseline " +
+           std::to_string(total_baseline) + " (ratio " +
+           format_fixed(static_cast<double>(total_baseline) / total_ours) + ")";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace fpr

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/profiles.hpp"
+#include "router/width_search.hpp"
+
+namespace fpr {
+
+/// Which Xilinx architecture family a width experiment models.
+enum class ArchFamily { kXc3000, kXc4000 };
+
+/// ArchSpec for a profile's array under the given family (channel width is
+/// the search variable and starts at 1 here).
+ArchSpec arch_for(const CircuitProfile& profile, ArchFamily family);
+
+/// Configuration of the Table 2 / Table 3 experiments: minimum channel
+/// width of our router (IKMB) vs the in-framework two-pin baseline standing
+/// in for CGE/SEGA/GBP, on synthetic circuits with the paper profiles.
+struct WidthExperimentOptions {
+  unsigned seed = 1995;
+  int max_passes = 20;          // the paper's feasibility threshold
+  int max_width = 30;
+  bool run_baseline = true;
+  Algorithm algorithm = Algorithm::kIkmb;
+};
+
+struct WidthRow {
+  CircuitProfile profile;
+  int ours = -1;      // measured min channel width, our router
+  int baseline = -1;  // measured min channel width, two-pin baseline
+  RoutingResult ours_at_min;
+};
+
+struct WidthExperimentResult {
+  ArchFamily family = ArchFamily::kXc3000;
+  std::vector<WidthRow> rows;
+};
+
+WidthExperimentResult run_width_experiment(std::span<const CircuitProfile> profiles,
+                                           ArchFamily family,
+                                           const WidthExperimentOptions& options = {});
+
+/// Renders the result in the layout of Table 2 (3000-series) or Table 3
+/// (4000-series), quoting the paper-reported router widths alongside the
+/// measured ones.
+std::string render_width_experiment(const WidthExperimentResult& result);
+
+}  // namespace fpr

@@ -1,0 +1,61 @@
+#include "fpga/arch.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace fpr {
+
+ArchSpec ArchSpec::xc3000(int rows, int cols, int channel_width) {
+  ArchSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.channel_width = channel_width;
+  spec.switch_pattern = SwitchPattern::kAugmented;
+  spec.fc_rule = FcRule::kFraction60;
+  return spec;
+}
+
+ArchSpec ArchSpec::xc4000(int rows, int cols, int channel_width) {
+  ArchSpec spec;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.channel_width = channel_width;
+  spec.switch_pattern = SwitchPattern::kDisjoint;
+  spec.fc_rule = FcRule::kFullWidth;
+  return spec;
+}
+
+ArchSpec ArchSpec::with_width(int w) const {
+  ArchSpec spec = *this;
+  spec.channel_width = w;
+  return spec;
+}
+
+int ArchSpec::fc() const {
+  switch (fc_rule) {
+    case FcRule::kFraction60:
+      return static_cast<int>(std::ceil(0.6 * channel_width));
+    case FcRule::kFullWidth:
+      return channel_width;
+  }
+  return channel_width;
+}
+
+int ArchSpec::fs() const {
+  switch (switch_pattern) {
+    case SwitchPattern::kDisjoint:
+      return 3;
+    case SwitchPattern::kAugmented:
+      return 6;
+  }
+  return 3;
+}
+
+std::string ArchSpec::describe() const {
+  std::ostringstream out;
+  out << rows << "x" << cols << " array, W=" << channel_width << ", Fs=" << fs()
+      << ", Fc=" << fc();
+  return out.str();
+}
+
+}  // namespace fpr

@@ -1,0 +1,148 @@
+#include "fpga/device.hpp"
+
+#include <cassert>
+
+#include "fpga/switchbox.hpp"
+
+namespace fpr {
+
+namespace {
+
+/// Fc evenly spaced track indices in [0, W).
+std::vector<int> fc_tracks(int fc, int channel_width) {
+  std::vector<int> tracks;
+  tracks.reserve(static_cast<std::size_t>(fc));
+  for (int i = 0; i < fc; ++i) {
+    tracks.push_back(i * channel_width / fc);
+  }
+  return tracks;
+}
+
+}  // namespace
+
+Device::Device(const ArchSpec& spec) : spec_(spec) {
+  assert(spec.valid());
+  const int rows = spec_.rows;
+  const int cols = spec_.cols;
+  const int w = spec_.channel_width;
+
+  block_count_ = static_cast<NodeId>(rows * cols);
+  const NodeId hwires = static_cast<NodeId>((rows + 1) * cols * w);
+  const NodeId vwires = static_cast<NodeId>((cols + 1) * rows * w);
+  hwire_base_ = block_count_;
+  vwire_base_ = block_count_ + hwires;
+  graph_.add_nodes(block_count_ + hwires + vwires);
+
+  // Connection blocks: each logic block reaches Fc tracks of the channel
+  // segment on each of its four sides.
+  const std::vector<int> tracks = fc_tracks(spec_.fc(), w);
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < cols; ++x) {
+      const NodeId b = block_node(x, y);
+      for (const int t : tracks) {
+        graph_.add_edge(b, wire_node(Dir::kHorizontal, x, y, t), 1.0);      // south
+        graph_.add_edge(b, wire_node(Dir::kHorizontal, x, y + 1, t), 1.0);  // north
+        graph_.add_edge(b, wire_node(Dir::kVertical, x, y, t), 1.0);        // west
+        graph_.add_edge(b, wire_node(Dir::kVertical, x + 1, y, t), 1.0);    // east
+      }
+    }
+  }
+
+  // Switch blocks: at every channel intersection (x, y), x in [0, cols],
+  // y in [0, rows], connect the wire segments of every pair of present
+  // sides with the architecture's track pattern.
+  const auto pairs = switchbox_track_pairs(spec_.switch_pattern, w);
+  for (int y = 0; y <= rows; ++y) {
+    for (int x = 0; x <= cols; ++x) {
+      // The four wire groups meeting at this intersection (or -1 if absent
+      // at the device perimeter).
+      struct Side {
+        bool present;
+        Dir dir;
+        int sx, sy;
+      };
+      const Side sides[4] = {
+          {x >= 1, Dir::kHorizontal, x - 1, y},        // west
+          {x <= cols - 1, Dir::kHorizontal, x, y},     // east
+          {y >= 1, Dir::kVertical, x, y - 1},          // south
+          {y <= rows - 1, Dir::kVertical, x, y},       // north
+      };
+      for (int a = 0; a < 4; ++a) {
+        if (!sides[a].present) continue;
+        for (int b = a + 1; b < 4; ++b) {
+          if (!sides[b].present) continue;
+          for (const auto& [ta, tb] : pairs) {
+            graph_.add_edge(wire_node(sides[a].dir, sides[a].sx, sides[a].sy, ta),
+                            wire_node(sides[b].dir, sides[b].sx, sides[b].sy, tb), 1.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+NodeId Device::block_node(int x, int y) const {
+  assert(x >= 0 && x < spec_.cols && y >= 0 && y < spec_.rows);
+  return static_cast<NodeId>(y * spec_.cols + x);
+}
+
+NodeId Device::wire_node(Dir dir, int x, int y, int track) const {
+  const int w = spec_.channel_width;
+  if (dir == Dir::kHorizontal) {
+    assert(x >= 0 && x < spec_.cols && y >= 0 && y <= spec_.rows && track >= 0 && track < w);
+    return hwire_base_ + static_cast<NodeId>((y * spec_.cols + x) * w + track);
+  }
+  assert(x >= 0 && x <= spec_.cols && y >= 0 && y < spec_.rows && track >= 0 && track < w);
+  return vwire_base_ + static_cast<NodeId>((y * (spec_.cols + 1) + x) * w + track);
+}
+
+Device::WireRef Device::wire_ref(NodeId v) const {
+  assert(is_wire(v));
+  const int w = spec_.channel_width;
+  WireRef ref;
+  if (v < vwire_base_) {
+    const int idx = v - hwire_base_;
+    ref.dir = Dir::kHorizontal;
+    ref.track = idx % w;
+    ref.x = (idx / w) % spec_.cols;
+    ref.y = (idx / w) / spec_.cols;
+  } else {
+    const int idx = v - vwire_base_;
+    ref.dir = Dir::kVertical;
+    ref.track = idx % w;
+    ref.x = (idx / w) % (spec_.cols + 1);
+    ref.y = (idx / w) / (spec_.cols + 1);
+  }
+  return ref;
+}
+
+std::vector<NodeId> Device::tile_siblings(NodeId wire) const {
+  const WireRef ref = wire_ref(wire);
+  std::vector<NodeId> siblings;
+  siblings.reserve(static_cast<std::size_t>(spec_.channel_width) - 1);
+  for (int t = 0; t < spec_.channel_width; ++t) {
+    const NodeId v = wire_node(ref.dir, ref.x, ref.y, t);
+    if (v != wire) siblings.push_back(v);
+  }
+  return siblings;
+}
+
+int Device::used_wire_count() const {
+  int used = 0;
+  for (NodeId v = block_count_; v < graph_.node_count(); ++v) {
+    if (!graph_.node_active(v)) ++used;
+  }
+  return used;
+}
+
+void Device::reset() {
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    if (!graph_.node_active(v)) graph_.restore_node(v);
+  }
+  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+    if (!graph_.edge_active(e)) graph_.restore_edge(e);
+    if (graph_.edge_weight(e) != 1.0) graph_.set_edge_weight(e, 1.0);
+  }
+}
+
+}  // namespace fpr

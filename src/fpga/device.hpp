@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "fpga/arch.hpp"
+#include "graph/graph.hpp"
+
+namespace fpr {
+
+/// A concrete FPGA device: the routing graph induced by an ArchSpec
+/// (Section 2, Figure 2), with the bookkeeping the router needs to commit
+/// wire segments to nets and to track per-channel-tile occupancy.
+///
+/// Graph layout:
+///  - one node per logic block (nets terminate on block nodes; a block node
+///    stands for the cluster of physically distinct pins of that block, so
+///    block nodes are shared between nets while wire nodes are exclusive);
+///  - one node per wire segment: track t of the horizontal channel y
+///    (y in [0, rows], i.e. channels below row 0 through above the top row)
+///    at tile x, and symmetrically for vertical channels;
+///  - connection-block edges from each block to Fc evenly-spaced tracks of
+///    the four adjacent channel segments;
+///  - switch-block edges between wire segments meeting at each channel
+///    intersection, following the ArchSpec's SwitchPattern.
+///
+/// All base edge weights are 1.0 (one unit of wirelength per hop); the
+/// router layers congestion on top and reset() restores this base state.
+class Device {
+ public:
+  explicit Device(const ArchSpec& spec);
+
+  const ArchSpec& spec() const { return spec_; }
+  Graph& graph() { return graph_; }
+  const Graph& graph() const { return graph_; }
+
+  enum class Dir { kHorizontal, kVertical };
+
+  struct WireRef {
+    Dir dir = Dir::kHorizontal;
+    int x = 0;      // tile column (horizontal) or channel index (vertical)
+    int y = 0;      // channel index (horizontal) or tile row (vertical)
+    int track = 0;
+  };
+
+  NodeId block_node(int x, int y) const;
+  NodeId wire_node(Dir dir, int x, int y, int track) const;
+
+  bool is_block(NodeId v) const { return v < block_count_; }
+  bool is_wire(NodeId v) const { return v >= block_count_ && v < graph_.node_count(); }
+
+  /// Decodes a wire node id; precondition is_wire(v).
+  WireRef wire_ref(NodeId v) const;
+
+  /// All wire nodes sharing a channel tile with `wire` (itself excluded);
+  /// these are the segments competing for the same channel capacity, the
+  /// ones the router's congestion model penalizes.
+  std::vector<NodeId> tile_siblings(NodeId wire) const;
+
+  int block_count() const { return block_count_; }
+  int wire_count() const { return graph_.node_count() - block_count_; }
+
+  /// Number of wire nodes currently consumed (inactive).
+  int used_wire_count() const;
+
+  /// Restores every node/edge to active and every weight to the base 1.0.
+  void reset();
+
+ private:
+  ArchSpec spec_;
+  Graph graph_;
+  NodeId block_count_ = 0;
+  NodeId hwire_base_ = 0;  // first horizontal wire node
+  NodeId vwire_base_ = 0;  // first vertical wire node
+};
+
+}  // namespace fpr

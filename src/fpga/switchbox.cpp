@@ -1,0 +1,24 @@
+#include "fpga/switchbox.hpp"
+
+namespace fpr {
+
+std::vector<std::pair<int, int>> switchbox_track_pairs(SwitchPattern pattern, int channel_width) {
+  std::vector<std::pair<int, int>> pairs;
+  switch (pattern) {
+    case SwitchPattern::kDisjoint:
+      pairs.reserve(static_cast<std::size_t>(channel_width));
+      for (int t = 0; t < channel_width; ++t) pairs.emplace_back(t, t);
+      break;
+    case SwitchPattern::kAugmented:
+      pairs.reserve(static_cast<std::size_t>(channel_width) * 2);
+      for (int t = 0; t < channel_width; ++t) {
+        pairs.emplace_back(t, t);
+        const int shifted = (t + 1) % channel_width;
+        if (shifted != t) pairs.emplace_back(t, shifted);  // W == 1 degenerates
+      }
+      break;
+  }
+  return pairs;
+}
+
+}  // namespace fpr

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "fpga/arch.hpp"
+
+namespace fpr {
+
+/// Track-to-track connections a switch block offers between two of its
+/// sides, as (incoming track, outgoing track) pairs. The pattern is uniform
+/// across the device; the Device builder instantiates it at every channel
+/// intersection for every pair of present sides.
+std::vector<std::pair<int, int>> switchbox_track_pairs(SwitchPattern pattern, int channel_width);
+
+}  // namespace fpr

@@ -1,0 +1,111 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fpr {
+
+std::vector<EdgeId> ShortestPathTree::path_edges_to(NodeId v) const {
+  std::vector<EdgeId> edges;
+  while (v != source) {
+    const auto e = parent_edge[static_cast<std::size_t>(v)];
+    assert(e != kInvalidEdge && "path requested to an unreachable node");
+    edges.push_back(e);
+    v = parent[static_cast<std::size_t>(v)];
+  }
+  std::reverse(edges.begin(), edges.end());
+  return edges;
+}
+
+std::vector<NodeId> ShortestPathTree::path_nodes_to(NodeId v) const {
+  std::vector<NodeId> nodes{v};
+  while (v != source) {
+    assert(parent[static_cast<std::size_t>(v)] != kInvalidNode);
+    v = parent[static_cast<std::size_t>(v)];
+    nodes.push_back(v);
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+namespace {
+
+/// Shared core: runs Dijkstra, optionally stopping once all `targets` are
+/// settled and the frontier has moved past the derived radius.
+ShortestPathTree dijkstra_impl(const Graph& g, NodeId source, std::span<const NodeId> targets,
+                               double radius_factor, Weight slack) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(n, kInfiniteWeight);
+  t.parent.assign(n, kInvalidNode);
+  t.parent_edge.assign(n, kInvalidEdge);
+  if (!g.node_active(source)) return t;
+
+  std::vector<char> pending(targets.empty() ? 0 : n, 0);
+  NodeId pending_count = 0;
+  for (const NodeId v : targets) {
+    auto& flag = pending[static_cast<std::size_t>(v)];
+    if (flag == 0 && v != source) {
+      flag = 1;
+      ++pending_count;
+    }
+  }
+
+  using Entry = std::pair<Weight, NodeId>;  // (dist, node); node breaks ties
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  t.dist[static_cast<std::size_t>(source)] = 0;
+  heap.emplace(0, source);
+
+  std::vector<char> done(n, 0);
+  Weight limit = kInfiniteWeight;  // becomes finite once all targets settle
+  bool stopped_early = false;
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    if (d > limit) {
+      stopped_early = true;
+      break;
+    }
+    heap.pop();
+    auto& du = done[static_cast<std::size_t>(u)];
+    if (du) continue;
+    du = 1;
+    if (pending_count > 0 && pending[static_cast<std::size_t>(u)]) {
+      pending[static_cast<std::size_t>(u)] = 0;
+      if (--pending_count == 0) {
+        limit = radius_factor * d + slack;
+      }
+    }
+    for (const EdgeId e : g.incident_edges(u)) {
+      if (!g.edge_usable(e)) continue;
+      const NodeId v = g.other_end(e, u);
+      const Weight nd = d + g.edge_weight(e);
+      auto& dv = t.dist[static_cast<std::size_t>(v)];
+      // Strict improvement only: with the min-heap popping smaller node ids
+      // first among equal keys, this yields a deterministic parent forest.
+      if (nd < dv) {
+        dv = nd;
+        t.parent[static_cast<std::size_t>(v)] = u;
+        t.parent_edge[static_cast<std::size_t>(v)] = e;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (stopped_early) {
+    t.settled = std::move(done);
+  }
+  return t;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  return dijkstra_impl(g, source, {}, 0, 0);
+}
+
+ShortestPathTree dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
+                                 double radius_factor, Weight slack) {
+  return dijkstra_impl(g, source, targets, radius_factor, slack);
+}
+
+}  // namespace fpr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace fpr {
+
+/// Single-source shortest paths from one node (Dijkstra [16]).
+///
+/// Distances to deactivated or unreachable nodes are kInfiniteWeight.
+/// Ties are broken deterministically (smaller node id first), so the parent
+/// forest — and every algorithm built on it — is reproducible.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<Weight> dist;
+  std::vector<NodeId> parent;       // predecessor node on a shortest path
+  std::vector<EdgeId> parent_edge;  // edge to that predecessor
+
+  /// Empty for a complete run. For a radius-bounded run (dijkstra_within),
+  /// flags the nodes whose distances are final; everything else is unknown
+  /// (not "unreachable").
+  std::vector<char> settled;
+
+  bool reached(NodeId v) const { return dist[static_cast<std::size_t>(v)] < kInfiniteWeight; }
+
+  /// True when this tree can answer queries about v: either the run was
+  /// complete, or v was settled before the early stop.
+  bool knows(NodeId v) const {
+    return settled.empty() || settled[static_cast<std::size_t>(v)] != 0;
+  }
+
+  bool complete() const { return settled.empty(); }
+
+  Weight distance(NodeId v) const { return dist[static_cast<std::size_t>(v)]; }
+
+  /// Edges of the source -> v shortest path (empty when v == source).
+  /// Precondition: reached(v).
+  std::vector<EdgeId> path_edges_to(NodeId v) const;
+
+  /// Nodes of the source -> v shortest path, source first.
+  std::vector<NodeId> path_nodes_to(NodeId v) const;
+};
+
+/// Runs Dijkstra over the usable part of g. O((V + E) log V).
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// Radius-bounded Dijkstra: settles at least every reachable node in
+/// `targets`, then keeps expanding until the frontier key exceeds
+/// radius_factor * (max settled target distance) + slack, and marks what it
+/// settled. On large FPGA routing graphs this prices a local net at the
+/// cost of its neighborhood instead of the whole device; the generous
+/// default radius covers the Steiner "corridor" (nodes on shortest paths
+/// between targets plus their neighbors) from every target's viewpoint.
+/// If the search exhausts the component anyway, the result is marked
+/// complete. Queries outside the settled set must consult knows() —
+/// PathOracle does this and transparently falls back to a full run.
+ShortestPathTree dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
+                                 double radius_factor = 1.3, Weight slack = 4.0);
+
+}  // namespace fpr

@@ -1,0 +1,71 @@
+#include "graph/distance_graph.hpp"
+
+#include <cassert>
+
+namespace fpr {
+
+DistanceGraph::DistanceGraph(std::vector<NodeId> terminals)
+    : terminals_(std::move(terminals)),
+      w_(terminals_.size() * terminals_.size(), kInfiniteWeight) {
+  for (int i = 0; i < size(); ++i) set_weight(i, i, 0);
+}
+
+DistanceGraph::DistanceGraph(std::span<const NodeId> terminals, PathOracle& oracle)
+    : DistanceGraph(std::vector<NodeId>(terminals.begin(), terminals.end())) {
+  // oracle.distance() serves each pair from whichever endpoint's SSSP tree
+  // already exists, so adding one new terminal to a cached set costs no
+  // extra Dijkstra runs — the property IGMST's candidate loop relies on.
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      set_weight(i, j, oracle.distance(terminals_[static_cast<std::size_t>(i)],
+                                       terminals_[static_cast<std::size_t>(j)]));
+    }
+  }
+}
+
+bool DistanceGraph::connected() const {
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      if (weight(i, j) >= kInfiniteWeight) return false;
+    }
+  }
+  return true;
+}
+
+DistanceGraph::Mst DistanceGraph::prim_mst() const {
+  Mst result;
+  const int k = size();
+  if (k == 0) {
+    result.complete = true;
+    return result;
+  }
+  std::vector<char> in_tree(static_cast<std::size_t>(k), 0);
+  std::vector<Weight> best(static_cast<std::size_t>(k), kInfiniteWeight);
+  std::vector<int> best_from(static_cast<std::size_t>(k), -1);
+  best[0] = 0;
+  for (int step = 0; step < k; ++step) {
+    int pick = -1;
+    for (int i = 0; i < k; ++i) {
+      if (!in_tree[static_cast<std::size_t>(i)] &&
+          (pick == -1 || best[static_cast<std::size_t>(i)] < best[static_cast<std::size_t>(pick)])) {
+        pick = i;
+      }
+    }
+    if (best[static_cast<std::size_t>(pick)] >= kInfiniteWeight) return result;  // disconnected
+    in_tree[static_cast<std::size_t>(pick)] = 1;
+    if (best_from[static_cast<std::size_t>(pick)] >= 0) {
+      result.edges.emplace_back(best_from[static_cast<std::size_t>(pick)], pick);
+      result.cost += best[static_cast<std::size_t>(pick)];
+    }
+    for (int j = 0; j < k; ++j) {
+      if (!in_tree[static_cast<std::size_t>(j)] && weight(pick, j) < best[static_cast<std::size_t>(j)]) {
+        best[static_cast<std::size_t>(j)] = weight(pick, j);
+        best_from[static_cast<std::size_t>(j)] = pick;
+      }
+    }
+  }
+  result.complete = true;
+  return result;
+}
+
+}  // namespace fpr

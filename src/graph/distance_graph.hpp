@@ -1,0 +1,56 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/path_oracle.hpp"
+#include "graph/types.hpp"
+
+namespace fpr {
+
+/// The complete "distance graph" G' over a terminal set N: edge {i, j} is
+/// weighted by the shortest-path distance in the underlying routing graph.
+/// This is the shared first step of the KMB and ZEL heuristics (Appendix)
+/// and of the DOM spanning-arborescence subroutine (Section 4.2).
+class DistanceGraph {
+ public:
+  /// Builds the matrix from the oracle's cached SSSP trees (one Dijkstra per
+  /// distinct terminal, shared with every other consumer of the oracle).
+  DistanceGraph(std::span<const NodeId> terminals, PathOracle& oracle);
+
+  /// Empty matrix over the given terminals; caller fills weights (used by
+  /// ZEL's contraction, which mutates a copy).
+  explicit DistanceGraph(std::vector<NodeId> terminals);
+
+  int size() const { return static_cast<int>(terminals_.size()); }
+  NodeId terminal(int i) const { return terminals_[static_cast<std::size_t>(i)]; }
+  std::span<const NodeId> terminals() const { return terminals_; }
+
+  Weight weight(int i, int j) const { return w_[index(i, j)]; }
+  void set_weight(int i, int j, Weight w) {
+    w_[index(i, j)] = w;
+    w_[index(j, i)] = w;
+  }
+
+  /// True iff every pairwise distance is finite.
+  bool connected() const;
+
+  struct Mst {
+    std::vector<std::pair<int, int>> edges;  // pairs of terminal indices
+    Weight cost = 0;
+    bool complete = false;  // false when the terminals are not all connected
+  };
+
+  /// Deterministic Prim MST over the complete matrix, O(k^2).
+  Mst prim_mst() const;
+
+ private:
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(i) * terminals_.size() + static_cast<std::size_t>(j);
+  }
+
+  std::vector<NodeId> terminals_;
+  std::vector<Weight> w_;
+};
+
+}  // namespace fpr

@@ -1,0 +1,82 @@
+#include "graph/graph.hpp"
+
+namespace fpr {
+
+Graph::Graph(NodeId node_count) { add_nodes(node_count); }
+
+NodeId Graph::add_nodes(NodeId count) {
+  assert(count >= 0);
+  const NodeId first = node_count();
+  incident_.resize(incident_.size() + static_cast<std::size_t>(count));
+  node_active_.resize(node_active_.size() + static_cast<std::size_t>(count), 1);
+  ++revision_;
+  return first;
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  assert(u >= 0 && u < node_count());
+  assert(v >= 0 && v < node_count());
+  assert(u != v && "self-loops are never useful in a routing graph");
+  assert(w >= 0 && "routing costs are non-negative");
+  const EdgeId id = edge_count();
+  edges_.push_back(Edge{u, v, w, true});
+  incident_[static_cast<std::size_t>(u)].push_back(id);
+  incident_[static_cast<std::size_t>(v)].push_back(id);
+  ++revision_;
+  return id;
+}
+
+void Graph::set_edge_weight(EdgeId e, Weight w) {
+  assert(w >= 0);
+  edges_[static_cast<std::size_t>(e)].weight = w;
+  ++revision_;
+}
+
+void Graph::add_edge_weight(EdgeId e, Weight delta) {
+  auto& ed = edges_[static_cast<std::size_t>(e)];
+  assert(ed.weight + delta >= 0);
+  ed.weight += delta;
+  ++revision_;
+}
+
+void Graph::remove_edge(EdgeId e) {
+  edges_[static_cast<std::size_t>(e)].active = false;
+  ++revision_;
+}
+
+void Graph::restore_edge(EdgeId e) {
+  edges_[static_cast<std::size_t>(e)].active = true;
+  ++revision_;
+}
+
+void Graph::remove_node(NodeId v) {
+  node_active_[static_cast<std::size_t>(v)] = 0;
+  ++revision_;
+}
+
+void Graph::restore_node(NodeId v) {
+  node_active_[static_cast<std::size_t>(v)] = 1;
+  ++revision_;
+}
+
+EdgeId Graph::active_edge_count() const {
+  EdgeId n = 0;
+  for (EdgeId e = 0; e < edge_count(); ++e) {
+    if (edge_usable(e)) ++n;
+  }
+  return n;
+}
+
+Weight Graph::mean_active_edge_weight() const {
+  Weight sum = 0;
+  EdgeId n = 0;
+  for (EdgeId e = 0; e < edge_count(); ++e) {
+    if (edge_usable(e)) {
+      sum += edge(e).weight;
+      ++n;
+    }
+  }
+  return n == 0 ? Weight{0} : sum / static_cast<Weight>(n);
+}
+
+}  // namespace fpr

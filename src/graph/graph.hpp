@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace fpr {
+
+/// Weighted undirected graph with removable (deactivatable) nodes and edges
+/// and mutable edge weights.
+///
+/// This is the routing-graph substrate of the paper (Section 2, Figure 2):
+/// the FPGA router commits wire segments to nets by deactivating their nodes,
+/// and models congestion by raising edge weights, so both operations are
+/// first-class and O(1). Deactivated elements keep their ids; traversals
+/// (Dijkstra, MST, ...) skip them.
+///
+/// Every mutation bumps `revision()`, which shortest-path caches use for
+/// invalidation.
+class Graph {
+ public:
+  struct Edge {
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    Weight weight = 0;
+    bool active = true;
+  };
+
+  Graph() = default;
+  explicit Graph(NodeId node_count);
+
+  /// Appends `count` fresh nodes; returns the id of the first one.
+  NodeId add_nodes(NodeId count);
+
+  /// Adds an undirected edge {u, v} with weight w >= 0; returns its id.
+  EdgeId add_edge(NodeId u, NodeId v, Weight w);
+
+  NodeId node_count() const { return static_cast<NodeId>(incident_.size()); }
+  EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
+  Weight edge_weight(EdgeId e) const { return edge(e).weight; }
+
+  /// The endpoint of `e` that is not `from`.
+  NodeId other_end(EdgeId e, NodeId from) const {
+    const Edge& ed = edge(e);
+    assert(ed.u == from || ed.v == from);
+    return ed.u == from ? ed.v : ed.u;
+  }
+
+  /// All edges ever attached to `v` (including inactive ones; filter with
+  /// edge_usable()).
+  std::span<const EdgeId> incident_edges(NodeId v) const {
+    return incident_[static_cast<std::size_t>(v)];
+  }
+
+  bool node_active(NodeId v) const { return node_active_[static_cast<std::size_t>(v)]; }
+  bool edge_active(EdgeId e) const { return edge(e).active; }
+
+  /// An edge is traversable iff it and both endpoints are active.
+  bool edge_usable(EdgeId e) const {
+    const Edge& ed = edge(e);
+    return ed.active && node_active(ed.u) && node_active(ed.v);
+  }
+
+  void set_edge_weight(EdgeId e, Weight w);
+  void add_edge_weight(EdgeId e, Weight delta);
+  void remove_edge(EdgeId e);
+  void restore_edge(EdgeId e);
+  void remove_node(NodeId v);
+  void restore_node(NodeId v);
+
+  /// Monotone counter incremented on every mutation; used by PathOracle.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Number of currently usable edges.
+  EdgeId active_edge_count() const;
+
+  /// Mean weight over usable edges (the paper reports the average
+  /// routing-graph edge weight per congestion level in Table 1).
+  Weight mean_active_edge_weight() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+  std::vector<char> node_active_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace fpr

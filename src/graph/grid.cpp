@@ -1,0 +1,35 @@
+#include "graph/grid.hpp"
+
+#include <cassert>
+
+namespace fpr {
+
+GridGraph::GridGraph(int width, int height, Weight edge_weight)
+    : width_(width), height_(height), graph_(static_cast<NodeId>(width) * height) {
+  assert(width >= 1 && height >= 1);
+  // Edge ids are deterministic: all horizontal edges first (row-major),
+  // then all vertical edges (row-major); the accessors below rely on this.
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x + 1 < width_; ++x) {
+      graph_.add_edge(node_at(x, y), node_at(x + 1, y), edge_weight);
+    }
+  }
+  for (int y = 0; y + 1 < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      graph_.add_edge(node_at(x, y), node_at(x, y + 1), edge_weight);
+    }
+  }
+}
+
+EdgeId GridGraph::horizontal_edge(int x, int y) const {
+  assert(x >= 0 && x + 1 < width_ && y >= 0 && y < height_);
+  return static_cast<EdgeId>(y * (width_ - 1) + x);
+}
+
+EdgeId GridGraph::vertical_edge(int x, int y) const {
+  assert(x >= 0 && x < width_ && y >= 0 && y + 1 < height_);
+  const EdgeId horizontal_count = static_cast<EdgeId>((width_ - 1) * height_);
+  return horizontal_count + static_cast<EdgeId>(y * width_ + x);
+}
+
+}  // namespace fpr

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace fpr {
+
+/// A width x height grid graph with 4-neighbor connectivity, the Table 1
+/// experimental substrate ("random nets, uniformly distributed in 20x20
+/// weighted grid graphs"). Node (x, y) has id y*width + x.
+class GridGraph {
+ public:
+  GridGraph(int width, int height, Weight edge_weight = 1.0);
+
+  Graph& graph() { return graph_; }
+  const Graph& graph() const { return graph_; }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  NodeId node_at(int x, int y) const { return static_cast<NodeId>(y * width_ + x); }
+  std::pair<int, int> coord(NodeId v) const { return {v % width_, v / width_}; }
+
+  /// Edge from (x, y) to (x+1, y); x in [0, width-2].
+  EdgeId horizontal_edge(int x, int y) const;
+  /// Edge from (x, y) to (x, y+1); y in [0, height-2].
+  EdgeId vertical_edge(int x, int y) const;
+
+ private:
+  int width_;
+  int height_;
+  Graph graph_;
+};
+
+}  // namespace fpr

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fpr {
+
+/// Minimum spanning tree of the subgraph of g induced by `edges`
+/// (duplicates allowed; inactive edges skipped).
+///
+/// Returns the MST edge ids of the component structure: if the induced
+/// subgraph is disconnected, a minimum spanning forest is returned.
+/// Deterministic: ties broken by edge id (Kruskal on (weight, id)).
+std::vector<EdgeId> kruskal_mst_subgraph(const Graph& g, std::span<const EdgeId> edges);
+
+/// MST over all usable edges of g (convenience for tests).
+std::vector<EdgeId> kruskal_mst(const Graph& g);
+
+/// Sum of weights of the given edges.
+Weight edge_set_cost(const Graph& g, std::span<const EdgeId> edges);
+
+}  // namespace fpr

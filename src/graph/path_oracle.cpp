@@ -1,0 +1,76 @@
+#include "graph/path_oracle.hpp"
+
+#include <cassert>
+
+namespace fpr {
+
+void PathOracle::refresh() {
+  if (revision_ != g_->revision()) {
+    cache_.clear();
+    revision_ = g_->revision();
+  }
+}
+
+const ShortestPathTree& PathOracle::from(NodeId source) {
+  refresh();
+  auto it = cache_.find(source);
+  if (it == cache_.end()) {
+    auto tree = scope_.empty()
+                    ? std::make_unique<ShortestPathTree>(dijkstra(*g_, source))
+                    : std::make_unique<ShortestPathTree>(dijkstra_within(*g_, source, scope_));
+    it = cache_.emplace(source, std::move(tree)).first;
+    ++runs_;
+  }
+  return *it->second;
+}
+
+const ShortestPathTree& PathOracle::from_knowing(NodeId source, NodeId probe) {
+  const ShortestPathTree& tree = from(source);
+  if (tree.knows(probe)) return tree;
+  // The bounded tree stopped short of the probe: upgrade to a complete run.
+  // Assign INTO the cached object (not a pointer swap) so references handed
+  // out by from() earlier stay valid — algorithms hold the source tree
+  // across queries that may trigger upgrades.
+  auto it = cache_.find(source);
+  *it->second = dijkstra(*g_, source);
+  ++runs_;
+  return *it->second;
+}
+
+const ShortestPathTree* PathOracle::cached(NodeId source) {
+  refresh();
+  const auto it = cache_.find(source);
+  return it == cache_.end() ? nullptr : it->second.get();
+}
+
+Weight PathOracle::distance(NodeId u, NodeId v) {
+  refresh();
+  if (auto it = cache_.find(u); it != cache_.end() && it->second->knows(v)) {
+    return it->second->distance(v);
+  }
+  if (auto it = cache_.find(v); it != cache_.end() && it->second->knows(u)) {
+    return it->second->distance(u);
+  }
+  return from_knowing(u, v).distance(v);
+}
+
+std::vector<EdgeId> PathOracle::path_between(NodeId a, NodeId b) {
+  assert(a != kInvalidNode && b != kInvalidNode);
+  if (a == b) return {};
+  if (const ShortestPathTree* spt = cached(a); spt != nullptr && spt->knows(b)) {
+    return spt->reached(b) ? spt->path_edges_to(b) : std::vector<EdgeId>{};
+  }
+  if (const ShortestPathTree* spt = cached(b); spt != nullptr && spt->knows(a)) {
+    return spt->reached(a) ? spt->path_edges_to(a) : std::vector<EdgeId>{};
+  }
+  const auto& spt = from_knowing(a, b);
+  return spt.reached(b) ? spt.path_edges_to(b) : std::vector<EdgeId>{};
+}
+
+void PathOracle::clear() {
+  cache_.clear();
+  runs_ = 0;
+  revision_ = g_->revision();
+}
+
+}  // namespace fpr

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+
+namespace fpr {
+
+/// Caches single-source shortest-path trees keyed by source node.
+///
+/// The paper notes that the naive iterated constructions can be sped up
+/// substantially "by factoring out of H common computations, such as
+/// computing shortest-paths" (Section 3); this oracle is that factoring.
+/// IGMST/IDOM evaluate hundreds of Steiner candidates against the same
+/// terminal set, and every distance they need is available from the
+/// terminals' own SSSP trees.
+///
+/// The cache self-invalidates when the underlying graph's revision changes.
+class PathOracle {
+ public:
+  explicit PathOracle(const Graph& g) : g_(&g), revision_(g.revision()) {}
+
+  const Graph& graph() const { return *g_; }
+
+  /// Restricts fresh Dijkstra runs to a radius-bounded search around the
+  /// given target set (see dijkstra_within). distance()/path_between()
+  /// transparently upgrade a bounded tree to a complete one when a query
+  /// falls outside its settled region, so scoping is purely a performance
+  /// hint — but algorithms that scan raw from() trees over ALL nodes
+  /// (PFA's MaxDom, ZEL's triple medians) must run unscoped. The FPGA
+  /// router sets the scope per net for the scan-free algorithms.
+  void set_scope(std::vector<NodeId> targets) { scope_ = std::move(targets); }
+  void clear_scope() { scope_.clear(); }
+
+  /// The SSSP tree rooted at `source` (computed on first use; radius-bounded
+  /// when a scope is set).
+  const ShortestPathTree& from(NodeId source);
+
+  /// A tree rooted at `source` that is guaranteed to know `probe`
+  /// (recomputes completely if a bounded tree stopped short of it).
+  const ShortestPathTree& from_knowing(NodeId source, NodeId probe);
+
+  /// Shortest-path distance between two nodes (graph is undirected, so this
+  /// is served from whichever endpoint is already cached, else from u).
+  Weight distance(NodeId u, NodeId v);
+
+  /// The cached SSSP tree for `source`, or nullptr if not computed yet.
+  /// Lets callers choose the endpoint whose tree is already available
+  /// instead of forcing a fresh Dijkstra.
+  const ShortestPathTree* cached(NodeId source);
+
+  /// Edges of a shortest a-b path, served from whichever endpoint's SSSP
+  /// tree is already cached (computing from `a` only as a last resort).
+  /// Empty when a == b or when they are disconnected.
+  std::vector<EdgeId> path_between(NodeId a, NodeId b);
+
+  void clear();
+
+  /// Number of Dijkstra runs performed since construction/clear (for tests
+  /// and the candidate-filtering ablation).
+  std::size_t dijkstra_runs() const { return runs_; }
+
+ private:
+  void refresh();
+
+  const Graph* g_;
+  std::uint64_t revision_;
+  std::unordered_map<NodeId, std::unique_ptr<ShortestPathTree>> cache_;
+  std::vector<NodeId> scope_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace fpr

@@ -1,0 +1,168 @@
+#include "graph/routing_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+namespace fpr {
+
+RoutingTree::RoutingTree(const Graph& g, std::vector<EdgeId> edges) : g_(&g), edges_(std::move(edges)) {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  rebuild_adjacency();
+}
+
+void RoutingTree::rebuild_adjacency() {
+  adjacency_.clear();
+  for (const EdgeId e : edges_) {
+    const auto& ed = g_->edge(e);
+    adjacency_[ed.u].emplace_back(e, ed.v);
+    adjacency_[ed.v].emplace_back(e, ed.u);
+  }
+}
+
+Weight RoutingTree::cost() const {
+  Weight sum = 0;
+  for (const EdgeId e : edges_) sum += g_->edge_weight(e);
+  return sum;
+}
+
+std::vector<NodeId> RoutingTree::nodes() const {
+  std::vector<NodeId> result;
+  result.reserve(adjacency_.size());
+  for (const auto& [v, _] : adjacency_) result.push_back(v);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool RoutingTree::is_tree() const {
+  if (edges_.empty()) return true;
+  // A connected graph with n nodes and n-1 edges is a tree.
+  if (adjacency_.size() != edges_.size() + 1) return false;
+  std::unordered_set<NodeId> seen;
+  std::deque<NodeId> frontier{adjacency_.begin()->first};
+  seen.insert(adjacency_.begin()->first);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& [e, v] : adjacency_.at(u)) {
+      (void)e;
+      if (seen.insert(v).second) frontier.push_back(v);
+    }
+  }
+  return seen.size() == adjacency_.size();
+}
+
+bool RoutingTree::spans(std::span<const NodeId> terminals) const {
+  if (terminals.empty()) return true;
+  if (terminals.size() == 1) return true;  // a lone terminal needs no wiring
+  for (const NodeId t : terminals) {
+    if (!contains_node(t)) return false;
+  }
+  // Connectivity among terminals: BFS from the first one.
+  std::unordered_set<NodeId> seen{terminals[0]};
+  std::deque<NodeId> frontier{terminals[0]};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& [e, v] : adjacency_.at(u)) {
+      (void)e;
+      if (seen.insert(v).second) frontier.push_back(v);
+    }
+  }
+  return std::all_of(terminals.begin(), terminals.end(),
+                     [&](NodeId t) { return seen.count(t) > 0; });
+}
+
+Weight RoutingTree::path_length(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  if (!contains_node(from) || !contains_node(to)) return kInfiniteWeight;
+  // BFS with cost accumulation; tree paths are unique so first arrival wins.
+  std::unordered_map<NodeId, Weight> dist{{from, 0}};
+  std::deque<NodeId> frontier{from};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    if (u == to) return dist[u];
+    for (const auto& [e, v] : adjacency_.at(u)) {
+      if (dist.emplace(v, dist[u] + g_->edge_weight(e)).second) frontier.push_back(v);
+    }
+  }
+  return kInfiniteWeight;
+}
+
+Weight RoutingTree::max_path_length(NodeId source, std::span<const NodeId> sinks) const {
+  if (sinks.empty()) return 0;
+  if (!contains_node(source)) return kInfiniteWeight;
+  // One traversal from the source covers every sink.
+  std::unordered_map<NodeId, Weight> dist{{source, 0}};
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& [e, v] : adjacency_.at(u)) {
+      if (dist.emplace(v, dist[u] + g_->edge_weight(e)).second) frontier.push_back(v);
+    }
+  }
+  Weight worst = 0;
+  for (const NodeId s : sinks) {
+    const auto it = dist.find(s);
+    if (it == dist.end()) return kInfiniteWeight;
+    worst = std::max(worst, it->second);
+  }
+  return worst;
+}
+
+int RoutingTree::max_path_edge_count(NodeId source, std::span<const NodeId> sinks) const {
+  if (sinks.empty()) return 0;
+  if (!contains_node(source)) return -1;
+  std::unordered_map<NodeId, int> hops{{source, 0}};
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& [e, v] : adjacency_.at(u)) {
+      (void)e;
+      if (hops.emplace(v, hops[u] + 1).second) frontier.push_back(v);
+    }
+  }
+  int worst = 0;
+  for (const NodeId s : sinks) {
+    const auto it = hops.find(s);
+    if (it == hops.end()) return -1;
+    worst = std::max(worst, it->second);
+  }
+  return worst;
+}
+
+void RoutingTree::prune_leaves(std::span<const NodeId> keep) {
+  const std::unordered_set<NodeId> keep_set(keep.begin(), keep.end());
+  std::unordered_set<EdgeId> removed;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [v, inc] : adjacency_) {
+      if (keep_set.count(v) > 0) continue;
+      EdgeId live_edge = kInvalidEdge;
+      int live_count = 0;
+      for (const auto& [e, other] : inc) {
+        (void)other;
+        if (removed.count(e) == 0) {
+          live_edge = e;
+          ++live_count;
+        }
+      }
+      if (live_count == 1) {
+        removed.insert(live_edge);
+        changed = true;
+      }
+    }
+  }
+  if (!removed.empty()) {
+    std::erase_if(edges_, [&](EdgeId e) { return removed.count(e) > 0; });
+    rebuild_adjacency();
+  }
+}
+
+}  // namespace fpr

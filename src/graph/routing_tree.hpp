@@ -1,0 +1,67 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fpr {
+
+/// A routing solution for one net: a set of edges of the routing graph that
+/// (when valid) forms a tree spanning the net's terminals.
+///
+/// The container dedupes its edge set and offers the metrics the paper
+/// evaluates: total wirelength (cost), per-sink pathlength, maximum
+/// source-sink pathlength, plus structural validation used by the tests
+/// (is it a tree? does it span N? are all leaves terminals?).
+class RoutingTree {
+ public:
+  RoutingTree(const Graph& g, std::vector<EdgeId> edges);
+
+  const Graph& graph() const { return *g_; }
+  const std::vector<EdgeId>& edges() const { return edges_; }
+  bool empty() const { return edges_.empty(); }
+
+  /// Sum of edge weights ("wirelength" in the paper's terminology).
+  Weight cost() const;
+
+  /// Every node touched by some edge, sorted ascending.
+  std::vector<NodeId> nodes() const;
+
+  bool contains_node(NodeId v) const { return adjacency_.count(v) > 0; }
+
+  /// True iff the edge set is acyclic and connected over its touched nodes.
+  bool is_tree() const;
+
+  /// True iff every terminal is touched and they are mutually connected.
+  /// A single-terminal net is spanned by an empty tree.
+  bool spans(std::span<const NodeId> terminals) const;
+
+  /// Cost of the unique tree path between two touched nodes
+  /// (kInfiniteWeight if either is absent or they are disconnected).
+  Weight path_length(NodeId from, NodeId to) const;
+
+  /// max over sinks of path_length(source, sink).
+  Weight max_path_length(NodeId source, std::span<const NodeId> sinks) const;
+
+  /// max over sinks of the tree-path EDGE COUNT from the source — the
+  /// physical pathlength on unit-length wire models, independent of any
+  /// congestion weighting layered onto the graph. Returns -1 if some sink
+  /// is not connected to the source in the tree.
+  int max_path_edge_count(NodeId source, std::span<const NodeId> sinks) const;
+
+  /// Repeatedly removes degree-1 nodes that are not in `keep` (the KMB
+  /// pendant-edge cleanup, and general Steiner-leaf pruning).
+  void prune_leaves(std::span<const NodeId> keep);
+
+ private:
+  void rebuild_adjacency();
+
+  const Graph* g_;
+  std::vector<EdgeId> edges_;
+  // node -> (incident tree edge, neighbor)
+  std::unordered_map<NodeId, std::vector<std::pair<EdgeId, NodeId>>> adjacency_;
+};
+
+}  // namespace fpr

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+/// Fundamental scalar types shared by every fpr subsystem.
+///
+/// Node and edge identifiers are dense 32-bit indices assigned by the owning
+/// Graph; weights are doubles (FPGA routing-graph weights combine wirelength
+/// with congestion penalties, which need not be integral).
+namespace fpr {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using Weight = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::infinity();
+
+/// Tolerance used when comparing path costs (e.g. the dominance test of
+/// Definition 4.1 checks d(n0,p) == d(n0,s) + d(s,p)). Workload weights are
+/// integral so comparisons are exact in practice; the tolerance guards
+/// user-supplied fractional weights.
+inline constexpr Weight kWeightTolerance = 1e-9;
+
+/// True when |a - b| is within tolerance, scaled by magnitude for large costs.
+inline bool weight_eq(Weight a, Weight b, Weight tol = kWeightTolerance) {
+  if (a == b) return true;  // covers infinities of the same sign
+  if (std::isinf(a) || std::isinf(b)) return false;  // finite vs infinite never match
+  const Weight scale = std::max({Weight{1}, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+/// True when a is strictly less than b beyond tolerance.
+inline bool weight_lt(Weight a, Weight b, Weight tol = kWeightTolerance) {
+  return a < b && !weight_eq(a, b, tol);
+}
+
+}  // namespace fpr

@@ -1,0 +1,34 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+namespace fpr {
+
+UnionFind::UnionFind(std::int32_t n)
+    : parent_(static_cast<std::size_t>(n)), rank_(static_cast<std::size_t>(n), 0), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+std::int32_t UnionFind::find(std::int32_t x) {
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    auto& p = parent_[static_cast<std::size_t>(x)];
+    p = parent_[static_cast<std::size_t>(p)];
+    x = p;
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::int32_t a, std::int32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  auto ra = rank_[static_cast<std::size_t>(a)];
+  auto rb = rank_[static_cast<std::size_t>(b)];
+  if (ra < rb) std::swap(a, b);
+  parent_[static_cast<std::size_t>(b)] = a;
+  if (ra == rb) ++rank_[static_cast<std::size_t>(a)];
+  --components_;
+  return true;
+}
+
+}  // namespace fpr

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fpr {
+
+/// Disjoint-set forest with union by rank and path halving.
+/// Used by Kruskal MST and by tree-validity checks.
+class UnionFind {
+ public:
+  explicit UnionFind(std::int32_t n);
+
+  std::int32_t find(std::int32_t x);
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::int32_t a, std::int32_t b);
+
+  bool same(std::int32_t a, std::int32_t b) { return find(a) == find(b); }
+
+  std::int32_t component_count() const { return components_; }
+
+ private:
+  std::vector<std::int32_t> parent_;
+  std::vector<std::int8_t> rank_;
+  std::int32_t components_;
+};
+
+}  // namespace fpr

@@ -1,0 +1,46 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace fpr {
+
+Circuit::Histogram Circuit::histogram() const {
+  Histogram h;
+  for (const auto& net : nets) {
+    const int pins = net.pin_count();
+    if (pins <= 3) {
+      ++h.pins_2_3;
+    } else if (pins <= 10) {
+      ++h.pins_4_10;
+    } else {
+      ++h.pins_over_10;
+    }
+  }
+  return h;
+}
+
+bool Circuit::well_formed() const {
+  const auto on_array = [&](const PinRef& p) {
+    return p.x >= 0 && p.x < cols && p.y >= 0 && p.y < rows;
+  };
+  for (const auto& net : nets) {
+    if (net.sinks.empty()) return false;
+    if (!on_array(net.source)) return false;
+    if (!std::all_of(net.sinks.begin(), net.sinks.end(), on_array)) return false;
+  }
+  return true;
+}
+
+Net to_graph_net(const Device& device, const CircuitNet& net) {
+  Net g;
+  g.source = device.block_node(net.source.x, net.source.y);
+  for (const PinRef& p : net.sinks) {
+    const NodeId v = device.block_node(p.x, p.y);
+    if (v != g.source && std::find(g.sinks.begin(), g.sinks.end(), v) == g.sinks.end()) {
+      g.sinks.push_back(v);
+    }
+  }
+  return g;
+}
+
+}  // namespace fpr

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/net.hpp"
+#include "fpga/device.hpp"
+
+namespace fpr {
+
+/// A logic-block position on the FPGA array.
+struct PinRef {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const PinRef&, const PinRef&) = default;
+};
+
+/// One multi-terminal net of a placed circuit: a driving block and the
+/// blocks it fans out to. `critical` marks timing-critical nets (Section 2:
+/// "nets may be classified as either critical or non-critical based on
+/// timing information from the higher-level design stages"); the router can
+/// route them with an arborescence construction while the rest use the
+/// Steiner heuristic.
+struct CircuitNet {
+  PinRef source;
+  std::vector<PinRef> sinks;
+  bool critical = false;
+
+  int pin_count() const { return 1 + static_cast<int>(sinks.size()); }
+};
+
+/// A placed circuit: nets over a rows x cols logic-block array. Placement
+/// (which block each pin occupies) is already folded into the PinRefs, as
+/// the paper assumes ("partitioning, technology mapping, and placement have
+/// already been performed", Section 2).
+struct Circuit {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  std::vector<CircuitNet> nets;
+
+  /// Net-size histogram in the buckets of Tables 2/3.
+  struct Histogram {
+    int pins_2_3 = 0;
+    int pins_4_10 = 0;
+    int pins_over_10 = 0;
+  };
+  Histogram histogram() const;
+
+  /// True when every pin lies on the array and every net has >= 2 pins.
+  bool well_formed() const;
+};
+
+/// Maps a circuit net onto a device's routing graph (block nodes), skipping
+/// duplicate sink blocks and sinks equal to the source block.
+Net to_graph_net(const Device& device, const CircuitNet& net);
+
+}  // namespace fpr

@@ -1,0 +1,71 @@
+#include "netlist/profiles.hpp"
+
+namespace fpr {
+
+namespace {
+
+CircuitProfile xc3000(std::string name, int rows, int cols, int n23, int n410, int nover,
+                      int cge, int ours) {
+  CircuitProfile p;
+  p.name = std::move(name);
+  p.rows = rows;
+  p.cols = cols;
+  p.nets_2_3 = n23;
+  p.nets_4_10 = n410;
+  p.nets_over_10 = nover;
+  p.paper_cge = cge;
+  p.paper_ikmb = ours;
+  return p;
+}
+
+CircuitProfile xc4000(std::string name, int rows, int cols, int n23, int n410, int nover,
+                      int sega, int gbp, int ikmb, int pfa, int idom, int t5w) {
+  CircuitProfile p;
+  p.name = std::move(name);
+  p.rows = rows;
+  p.cols = cols;
+  p.nets_2_3 = n23;
+  p.nets_4_10 = n410;
+  p.nets_over_10 = nover;
+  p.paper_sega = sega;
+  p.paper_gbp = gbp;
+  p.paper_ikmb = ikmb;
+  p.paper_pfa = pfa;
+  p.paper_idom = idom;
+  p.paper_table5_width = t5w;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<CircuitProfile>& xc3000_profiles() {
+  // Table 2: name, FPGA size, #2-3 pin, #4-10 pin, #over-10 pin, CGE width,
+  // paper's router width.
+  static const std::vector<CircuitProfile> kProfiles{
+      xc3000("busc", 12, 13, 115, 28, 8, 10, 7),
+      xc3000("dma", 16, 18, 139, 52, 22, 10, 9),
+      xc3000("bnre", 21, 22, 255, 70, 27, 12, 9),
+      xc3000("dfsm", 22, 23, 361, 26, 33, 10, 9),
+      xc3000("z03", 26, 27, 398, 176, 34, 13, 11),
+  };
+  return kProfiles;
+}
+
+const std::vector<CircuitProfile>& xc4000_profiles() {
+  // Tables 3/4/5: SEGA, GBP, then the paper's IKMB/PFA/IDOM widths and the
+  // common width Table 5 fixes per circuit.
+  static const std::vector<CircuitProfile> kProfiles{
+      xc4000("alu4", 19, 17, 165, 69, 21, 15, 14, 11, 14, 13, 14),
+      xc4000("apex7", 12, 10, 83, 30, 2, 13, 11, 10, 11, 11, 11),
+      xc4000("term1", 10, 9, 65, 21, 2, 10, 10, 8, 9, 9, 9),
+      xc4000("example2", 14, 12, 171, 25, 9, 17, 13, 11, 13, 13, 13),
+      xc4000("too_large", 14, 14, 128, 46, 12, 12, 12, 10, 12, 12, 12),
+      xc4000("k2", 22, 20, 241, 146, 17, 17, 17, 15, 17, 17, 17),
+      xc4000("vda", 17, 16, 132, 80, 13, 13, 13, 12, 14, 13, 14),
+      xc4000("9symml", 11, 10, 60, 11, 8, 10, 9, 8, 9, 8, 9),
+      xc4000("alu2", 15, 13, 109, 26, 18, 11, 11, 9, 11, 10, 11),
+  };
+  return kProfiles;
+}
+
+}  // namespace fpr

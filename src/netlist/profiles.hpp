@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpr {
+
+/// Statistical profile of one benchmark circuit from the paper's Tables 2/3:
+/// the FPGA array size, the net count per pin-count bucket, and the channel
+/// widths the paper reports for the published routers and for its own
+/// router. The synthetic-circuit generator (synth.hpp) realizes a placed
+/// circuit with exactly this profile — our substitute for the original
+/// (unavailable) MCNC netlists/placements; see DESIGN.md section 2.
+struct CircuitProfile {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  int nets_2_3 = 0;
+  int nets_4_10 = 0;
+  int nets_over_10 = 0;
+
+  // Paper-reported minimum channel widths (-1 = not reported).
+  int paper_cge = -1;        // Table 2 (3000-series)
+  int paper_sega = -1;       // Tables 3/4 (4000-series)
+  int paper_gbp = -1;        // Tables 3/4
+  int paper_ikmb = -1;       // "Our Router" column / Table 4 IKMB
+  int paper_pfa = -1;        // Table 4
+  int paper_idom = -1;       // Table 4
+  int paper_table5_width = -1;  // the fixed width used by Table 5
+
+  int total_nets() const { return nets_2_3 + nets_4_10 + nets_over_10; }
+};
+
+/// The five 3000-series circuits of Table 2 (busc ... z03).
+const std::vector<CircuitProfile>& xc3000_profiles();
+
+/// The nine 4000-series circuits of Tables 3/4/5 (alu4 ... alu2).
+const std::vector<CircuitProfile>& xc4000_profiles();
+
+}  // namespace fpr

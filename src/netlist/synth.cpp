@@ -1,0 +1,90 @@
+#include "netlist/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fpr {
+
+namespace {
+
+int clamp_to(int v, int lo, int hi) { return std::max(lo, std::min(hi, v)); }
+
+/// Places `pins` distinct blocks clustered around a random center.
+std::vector<PinRef> place_net(int rows, int cols, int pins, double sigma_frac,
+                              std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> cx(0, cols - 1);
+  std::uniform_int_distribution<int> cy(0, rows - 1);
+  const double sigma = std::max(1.5, sigma_frac * std::min(rows, cols));
+  std::normal_distribution<double> scatter(0.0, sigma);
+
+  const int center_x = cx(rng);
+  const int center_y = cy(rng);
+  std::vector<PinRef> placed;
+  placed.reserve(static_cast<std::size_t>(pins));
+  int attempts = 0;
+  const int max_attempts = pins * 50;
+  while (static_cast<int>(placed.size()) < pins && attempts < max_attempts) {
+    ++attempts;
+    PinRef p;
+    p.x = clamp_to(center_x + static_cast<int>(std::lround(scatter(rng))), 0, cols - 1);
+    p.y = clamp_to(center_y + static_cast<int>(std::lround(scatter(rng))), 0, rows - 1);
+    if (std::find(placed.begin(), placed.end(), p) == placed.end()) placed.push_back(p);
+  }
+  // Dense nets on small arrays can exhaust the cluster; fall back to uniform
+  // placement for the remainder.
+  while (static_cast<int>(placed.size()) < pins) {
+    PinRef p{cx(rng), cy(rng)};
+    if (std::find(placed.begin(), placed.end(), p) == placed.end()) placed.push_back(p);
+  }
+  return placed;
+}
+
+}  // namespace
+
+Circuit synthesize_circuit(const CircuitProfile& profile, unsigned seed,
+                           const SynthOptions& options) {
+  std::mt19937_64 rng(seed);
+  Circuit circuit;
+  circuit.name = profile.name;
+  circuit.rows = profile.rows;
+  circuit.cols = profile.cols;
+  circuit.nets.reserve(static_cast<std::size_t>(profile.total_nets()));
+
+  struct Bucket {
+    int count, min_pins, max_pins;
+  };
+  const int blocks = profile.rows * profile.cols;
+  const int over_cap = std::min(options.max_pins, std::max(12, blocks / 4));
+  const Bucket buckets[3] = {
+      {profile.nets_2_3, 2, 3},
+      {profile.nets_4_10, 4, 10},
+      {profile.nets_over_10, 11, over_cap},
+  };
+  for (const auto& bucket : buckets) {
+    std::uniform_int_distribution<int> pin_count(bucket.min_pins, bucket.max_pins);
+    for (int i = 0; i < bucket.count; ++i) {
+      const int pins = std::min(pin_count(rng), blocks);
+      auto placed = place_net(profile.rows, profile.cols, pins, options.locality_sigma, rng);
+      CircuitNet net;
+      net.source = placed.front();
+      net.sinks.assign(placed.begin() + 1, placed.end());
+      circuit.nets.push_back(std::move(net));
+    }
+  }
+  // Route big nets first within the initial order: large fanout nets are the
+  // hardest to place late, matching common router practice.
+  std::stable_sort(circuit.nets.begin(), circuit.nets.end(),
+                   [](const CircuitNet& a, const CircuitNet& b) {
+                     return a.pin_count() > b.pin_count();
+                   });
+  if (options.critical_fraction > 0) {
+    const auto critical_count = static_cast<std::size_t>(
+        options.critical_fraction * static_cast<double>(circuit.nets.size()));
+    for (std::size_t i = 0; i < critical_count && i < circuit.nets.size(); ++i) {
+      circuit.nets[i].critical = true;  // big-first order: largest fanouts
+    }
+  }
+  return circuit;
+}
+
+}  // namespace fpr

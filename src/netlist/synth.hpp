@@ -1,0 +1,39 @@
+#pragma once
+
+#include <random>
+
+#include "netlist/netlist.hpp"
+#include "netlist/profiles.hpp"
+
+namespace fpr {
+
+/// Knobs for the synthetic circuit generator.
+struct SynthOptions {
+  /// Std-dev of the Gaussian pin scatter around each net's cluster center,
+  /// as a fraction of the smaller array dimension. Small values give local
+  /// nets (realistic placements cluster connected logic); large values
+  /// approach uniform placement.
+  double locality_sigma = 0.22;
+
+  /// Upper bound on pins for the "over 10" bucket.
+  int max_pins = 18;
+
+  /// Fraction of nets flagged timing-critical (largest fanouts first — the
+  /// paper's first-approximation rule that long-path nets are the critical
+  /// ones). 0 disables.
+  double critical_fraction = 0.0;
+};
+
+/// Realizes a placed circuit with exactly the profile's array size and
+/// per-bucket net counts. Pin counts are drawn uniformly inside each bucket;
+/// pins of one net are placed on distinct blocks clustered around a random
+/// center (locality-aware placement). Deterministic per seed.
+///
+/// This is the repo's stand-in for the paper's industry benchmark circuits
+/// (see DESIGN.md section 2): it feeds the router the same array geometry
+/// and net-size distribution, which is what the channel-width experiments
+/// consume.
+Circuit synthesize_circuit(const CircuitProfile& profile, unsigned seed,
+                           const SynthOptions& options = {});
+
+}  // namespace fpr

@@ -1,0 +1,14 @@
+#include "router/baseline.hpp"
+
+namespace fpr {
+
+RouterOptions two_pin_baseline_options() {
+  RouterOptions options;
+  options.decompose_two_pin = true;
+  // The tree algorithm is unused in decomposition mode, but keep the rest of
+  // the loop (passes, move-to-front, congestion) identical to the Steiner
+  // router so the comparison isolates the decomposition choice.
+  return options;
+}
+
+}  // namespace fpr

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "router/router.hpp"
+
+namespace fpr {
+
+/// Router options for the measured in-framework baseline standing in for
+/// the published CGE/SEGA/GBP routers: identical router loop (net ordering,
+/// passes, congestion, disjointness), but each multi-pin net is broken into
+/// independent two-pin source-sink connections routed by shortest path —
+/// the strategy the paper contrasts its whole-net Steiner routing against
+/// ("Reduced channel widths are a result of routing multi-pin nets as
+/// complete units, rather than breaking them into multiple two-pin nets (as
+/// is done by other routers)", Section 5 / Figure 15).
+RouterOptions two_pin_baseline_options();
+
+}  // namespace fpr

@@ -1,0 +1,201 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fpr {
+
+namespace {
+
+/// Commits a routed net: removes its wire nodes from the graph (electrical
+/// disjointness) and charges the congestion penalty to the edges of the
+/// remaining free wires in every channel tile the net touched.
+int commit_net(Device& device, const std::vector<EdgeId>& edges, double congestion_penalty) {
+  Graph& g = device.graph();
+  std::vector<NodeId> wires;
+  for (const EdgeId e : edges) {
+    for (const NodeId v : {g.edge(e).u, g.edge(e).v}) {
+      if (device.is_wire(v) && g.node_active(v)) {
+        wires.push_back(v);
+        g.remove_node(v);
+      }
+    }
+  }
+  if (congestion_penalty > 0) {
+    for (const NodeId w : wires) {
+      for (const NodeId sibling : device.tile_siblings(w)) {
+        if (!g.node_active(sibling)) continue;
+        for (const EdgeId e : g.incident_edges(sibling)) {
+          if (g.edge_active(e)) g.add_edge_weight(e, congestion_penalty);
+        }
+      }
+    }
+  }
+  return static_cast<int>(wires.size());
+}
+
+/// Routes one net as a whole tree with the configured algorithm
+/// (the critical-net algorithm when the net is flagged critical).
+RoutingTree route_whole_net(const Graph& g, const Net& net, bool critical,
+                            const RouterOptions& options, PathOracle& oracle) {
+  const Algorithm algo = critical ? options.critical_algorithm : options.algorithm;
+  return route(g, net, algo, oracle, options.route_options);
+}
+
+/// Baseline: each sink is an independent two-pin connection; later
+/// connections may not reuse earlier ones' wires (they are consumed by the
+/// caller between... no — within the *net* the connections stay disjoint
+/// too, which is exactly the waste the paper's Steiner routing removes).
+struct TwoPinOutcome {
+  bool routed = false;
+  std::vector<EdgeId> edges;
+  Weight wirelength = 0;
+  Weight max_pathlength = 0;
+  int physical_max_path = 0;
+  int wire_nodes_used = 0;
+};
+
+TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
+                                       double congestion_penalty) {
+  Graph& g = device.graph();
+  TwoPinOutcome out;
+  std::vector<EdgeId> all_edges;
+  for (const NodeId sink : net.sinks) {
+    const auto spt = dijkstra(g, net.source);
+    if (!spt.reached(sink)) return out;  // leaves out.routed == false
+    const auto path = spt.path_edges_to(sink);
+    out.max_pathlength = std::max(out.max_pathlength, spt.distance(sink));
+    out.physical_max_path = std::max(out.physical_max_path, static_cast<int>(path.size()));
+    out.wirelength += spt.distance(sink);
+    all_edges.insert(all_edges.end(), path.begin(), path.end());
+    // Consume immediately so the next connection cannot share wires.
+    out.wire_nodes_used += commit_net(device, path, congestion_penalty);
+  }
+  out.routed = true;
+  out.edges = std::move(all_edges);
+  return out;
+}
+
+}  // namespace
+
+RoutingResult route_circuit(Device& device, const Circuit& circuit,
+                            const RouterOptions& options) {
+  const std::size_t net_count = circuit.nets.size();
+  std::vector<std::size_t> order(net_count);
+  std::iota(order.begin(), order.end(), 0);
+
+  RoutingResult result;
+  result.nets.assign(net_count, NetRouteResult{});
+
+  int best_failed = static_cast<int>(net_count) + 1;
+  int stalled = 0;
+  for (int pass = 1; pass <= options.max_passes; ++pass) {
+    device.reset();
+    result = RoutingResult{};
+    result.nets.assign(net_count, NetRouteResult{});
+    result.passes = pass;
+    std::vector<std::size_t> failed;
+
+    for (const std::size_t idx : order) {
+      const Net net = to_graph_net(device, circuit.nets[idx]);
+      NetRouteResult& record = result.nets[idx];
+      if (net.sinks.empty()) {  // all pins on one block: trivially routed
+        record.routed = true;
+        continue;
+      }
+      Graph& g = device.graph();
+
+      if (options.decompose_two_pin) {
+        // Optimal pathlength bound measured before any of the net's own
+        // connections consume resources.
+        PathOracle oracle(g);
+        const auto& spt = oracle.from(net.source);
+        Weight opt = 0;
+        bool reachable = true;
+        for (const NodeId s : net.sinks) {
+          if (!spt.reached(s)) reachable = false;
+          opt = std::max(opt, spt.distance(s));
+        }
+        if (!reachable) {
+          failed.push_back(idx);
+          continue;
+        }
+        auto out = route_two_pin_decomposed(device, net, options.congestion_penalty);
+        if (!out.routed) {
+          failed.push_back(idx);
+          continue;
+        }
+        record.routed = true;
+        record.edges = std::move(out.edges);
+        record.wirelength = out.wirelength;
+        record.max_pathlength = out.max_pathlength;
+        record.optimal_max_pathlength = opt;
+        record.physical_wirelength = static_cast<int>(record.edges.size());
+        record.physical_max_path = out.physical_max_path;
+        record.wire_nodes_used = out.wire_nodes_used;
+        continue;
+      }
+
+      PathOracle oracle(g);
+      const std::vector<NodeId> terminals = net.terminals();
+      const bool critical = circuit.nets[idx].critical;
+      const Algorithm algo = critical ? options.critical_algorithm : options.algorithm;
+      // Radius-bounded shortest paths: local nets only pay for their
+      // neighborhood of the device graph, not the whole chip.
+      if (algorithm_supports_scoped_paths(algo)) {
+        oracle.set_scope(terminals);
+      }
+      const RoutingTree tree = route_whole_net(g, net, critical, options, oracle);
+      if (!tree.spans(terminals)) {
+        failed.push_back(idx);
+        continue;
+      }
+      const TreeMetrics metrics = measure(g, net, tree, oracle);
+      record.routed = true;
+      record.edges = tree.edges();
+      record.wirelength = metrics.wirelength;
+      record.max_pathlength = metrics.max_pathlength;
+      record.optimal_max_pathlength = metrics.optimal_max_pathlength;
+      record.physical_wirelength = static_cast<int>(tree.edges().size());
+      record.physical_max_path = tree.max_path_edge_count(net.source, net.sinks);
+      record.wire_nodes_used = commit_net(device, tree.edges(), options.congestion_penalty);
+    }
+
+    if (failed.empty()) {
+      result.success = true;
+      break;
+    }
+    result.failed_nets = static_cast<int>(failed.size());
+    if (result.failed_nets < best_failed) {
+      best_failed = result.failed_nets;
+      stalled = 0;
+    } else if (options.stall_passes > 0 && ++stalled >= options.stall_passes) {
+      break;  // not converging; declare this width infeasible
+    }
+    if (!options.move_to_front) continue;
+
+    // Move-to-front: failed nets (in encounter order) lead the next pass.
+    std::vector<std::size_t> reordered = failed;
+    for (const std::size_t idx : order) {
+      if (std::find(failed.begin(), failed.end(), idx) == failed.end()) {
+        reordered.push_back(idx);
+      }
+    }
+    if (reordered == order) break;  // no progress possible; give up early
+    order = std::move(reordered);
+  }
+
+  // Aggregate totals over routed nets.
+  for (const auto& record : result.nets) {
+    if (!record.routed) continue;
+    result.total_wirelength += record.wirelength;
+    result.total_wire_nodes += record.wire_nodes_used;
+    result.total_max_pathlength += record.max_pathlength;
+    result.total_optimal_max_pathlength += record.optimal_max_pathlength;
+    result.total_physical_wirelength += record.physical_wirelength;
+    result.total_physical_max_path += record.physical_max_path;
+  }
+  return result;
+}
+
+}  // namespace fpr

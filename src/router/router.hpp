@@ -1,0 +1,95 @@
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/route.hpp"
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace fpr {
+
+/// Configuration of the paper's FPGA router (Section 5).
+struct RouterOptions {
+  /// Tree construction used per net (the paper's Tables 2/3 use IKMB;
+  /// Table 4 compares IKMB vs PFA vs IDOM).
+  Algorithm algorithm = Algorithm::kIkmb;
+
+  /// Tree construction for nets flagged critical (CircuitNet::critical) —
+  /// Section 2's mixed regime: shortest-paths trees for the timing-critical
+  /// nets, wirelength-minimal trees for the rest.
+  Algorithm critical_algorithm = Algorithm::kIdom;
+
+  /// Candidate filtering for the iterated constructions; device graphs are
+  /// large (|V| > 5000), so the corridor strategy with a cap is the default.
+  RouteOptions route_options{CandidateStrategy::kCorridor, 48, 0};
+
+  /// Feasibility threshold: "if a complete routing solution cannot be found
+  /// in a user-specified maximum number of passes (we arbitrarily set this
+  /// feasibility threshold to 20 passes), the router decides that the
+  /// circuit is unroutable at that given channel width."
+  int max_passes = 20;
+
+  /// Move-to-front re-ordering of failed nets between passes.
+  bool move_to_front = true;
+
+  /// Give up before max_passes when the failure count has not improved for
+  /// this many consecutive passes (the paper observes that successful
+  /// routings converge in fewer than five passes, so a stalled width is
+  /// almost certainly infeasible). 0 disables early stall detection.
+  int stall_passes = 3;
+
+  /// Extra weight added to edges of the remaining free wires in a channel
+  /// tile each time one of that tile's wires is consumed — the "edge weights
+  /// are updated to reflect the new congestion values" rule. 0 disables.
+  double congestion_penalty = 0.25;
+
+  /// Baseline mode standing in for CGE/SEGA/GBP: break each multi-pin net
+  /// into independent source-sink two-pin connections, each routed by
+  /// shortest path with no sharing (the strategy the paper credits its
+  /// channel-width win against; see Fig. 15).
+  bool decompose_two_pin = false;
+};
+
+/// Per-net outcome. Pathlength metrics are measured at route time (on the
+/// congested graph the net actually saw).
+struct NetRouteResult {
+  bool routed = false;
+  std::vector<EdgeId> edges;
+  /// Metrics in the live routing metric (wirelength + congestion weighting)
+  /// — what the router optimizes.
+  Weight wirelength = 0;
+  Weight max_pathlength = 0;
+  Weight optimal_max_pathlength = 0;  // Dijkstra bound at route time
+  /// Physical metrics (unit-length wire hops), independent of congestion
+  /// weighting — what signal delay and resource usage actually are. Table 5
+  /// compares algorithms on these.
+  int physical_wirelength = 0;  // tree edge count
+  int physical_max_path = 0;    // worst source-sink hop count
+  int wire_nodes_used = 0;
+};
+
+/// Outcome of routing a whole circuit at one channel width.
+struct RoutingResult {
+  bool success = false;
+  int passes = 0;
+  int failed_nets = 0;  // in the final pass
+  std::vector<NetRouteResult> nets;  // indexed like circuit.nets
+
+  Weight total_wirelength = 0;
+  int total_wire_nodes = 0;
+  /// Sums over routed nets of max pathlength (for the Table 5 deltas).
+  Weight total_max_pathlength = 0;
+  Weight total_optimal_max_pathlength = 0;
+  long total_physical_wirelength = 0;
+  long total_physical_max_path = 0;
+};
+
+/// Routes every net of the circuit on the device, one net at a time:
+/// route -> commit (consume wire nodes, bump congestion) -> next net;
+/// failed nets move to the front and the whole circuit re-routes, up to
+/// max_passes passes. The device is reset() between passes and left holding
+/// the final (successful or last-attempt) state.
+RoutingResult route_circuit(Device& device, const Circuit& circuit, const RouterOptions& options);
+
+}  // namespace fpr

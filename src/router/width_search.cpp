@@ -1,0 +1,38 @@
+#include "router/width_search.hpp"
+
+namespace fpr {
+
+WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& circuit,
+                                         const RouterOptions& router_options,
+                                         const WidthSearchOptions& search_options) {
+  WidthSearchResult result;
+  auto try_width = [&](int w) -> RoutingResult {
+    Device device(base.with_width(w));
+    RoutingResult r = route_circuit(device, circuit, router_options);
+    result.attempts.emplace_back(w, r.success);
+    return r;
+  };
+
+  int hi = search_options.max_width;
+  RoutingResult at_hi = try_width(hi);
+  if (!at_hi.success) return result;  // unroutable even at the widest device
+  result.min_width = hi;
+  result.at_min_width = std::move(at_hi);
+
+  int lo = search_options.min_width;
+  // Invariant: `result.min_width` routes; everything below `lo` untested or
+  // known to fail.
+  while (lo < result.min_width) {
+    const int mid = lo + (result.min_width - lo) / 2;
+    RoutingResult r = try_width(mid);
+    if (r.success) {
+      result.min_width = mid;
+      result.at_min_width = std::move(r);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace fpr

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "router/router.hpp"
+
+namespace fpr {
+
+struct WidthSearchOptions {
+  int min_width = 2;
+  int max_width = 30;
+};
+
+/// Result of the minimum-channel-width search — the quality measure the
+/// paper's circuit experiments report ("for each circuit we find the
+/// smallest maximum channel width necessary to completely route the
+/// circuit").
+struct WidthSearchResult {
+  int min_width = -1;  // -1: unroutable within [min_width, max_width]
+  RoutingResult at_min_width;
+  std::vector<std::pair<int, bool>> attempts;  // (width, success) trace
+};
+
+/// Finds the smallest channel width at which the router completes the
+/// circuit. Routability is monotone in practice, so the search is binary
+/// over [min_width, max_width] after confirming the upper end routes.
+/// `base` supplies the architecture family (switch pattern, Fc rule); its
+/// own channel_width is ignored.
+WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& circuit,
+                                         const RouterOptions& router_options,
+                                         const WidthSearchOptions& search_options = {});
+
+}  // namespace fpr

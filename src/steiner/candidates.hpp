@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/path_oracle.hpp"
+
+namespace fpr {
+
+/// How the iterated constructions (IGMST, IDOM) enumerate Steiner-candidate
+/// nodes.
+///
+/// The paper's template scans all of V - N (kAllNodes); on real device
+/// routing graphs (|V| > 5000, Section 2) that is wasteful, and the paper
+/// points at "factoring out common computations" for speed. kCorridor
+/// restricts candidates to the union of nodes lying on shortest paths
+/// between terminal pairs, plus their immediate neighbors — the region where
+/// a useful Steiner point can live in practice. The ablation bench
+/// quantifies the quality/speed trade.
+enum class CandidateStrategy {
+  kAllNodes,
+  kCorridor,
+};
+
+/// Candidate Steiner nodes for the given terminal set, excluding the
+/// terminals themselves, sorted ascending. `max_candidates` == 0 means
+/// unlimited; otherwise the list is evenly subsampled down to the cap.
+std::vector<NodeId> steiner_candidates(const Graph& g, std::span<const NodeId> terminals,
+                                       PathOracle& oracle, CandidateStrategy strategy,
+                                       int max_candidates = 0);
+
+}  // namespace fpr

@@ -1,0 +1,50 @@
+#include "steiner/kmb.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/distance_graph.hpp"
+#include "graph/mst.hpp"
+
+namespace fpr {
+
+namespace {
+
+std::vector<NodeId> dedupe(std::span<const NodeId> net) {
+  std::vector<NodeId> t(net.begin(), net.end());
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
+}
+
+}  // namespace
+
+RoutingTree kmb(const Graph& g, std::span<const NodeId> net, PathOracle& oracle) {
+  const std::vector<NodeId> terminals = dedupe(net);
+  if (terminals.size() < 2) return RoutingTree(g, {});
+
+  const DistanceGraph dg(terminals, oracle);
+  const auto mst = dg.prim_mst();
+  if (!mst.complete) return RoutingTree(g, {});  // net is not routable
+
+  // Expand distance-graph MST edges into real shortest paths, reusing
+  // whichever endpoint's SSSP tree the oracle already has.
+  std::vector<EdgeId> expanded;
+  for (const auto& [i, j] : mst.edges) {
+    const auto path = oracle.path_between(dg.terminal(i), dg.terminal(j));
+    expanded.insert(expanded.end(), path.begin(), path.end());
+  }
+
+  // Re-MST the expanded subgraph (overlapping paths can create cycles whose
+  // heaviest edges should be dropped), then prune non-terminal leaves.
+  RoutingTree tree(g, kruskal_mst_subgraph(g, expanded));
+  tree.prune_leaves(terminals);
+  return tree;
+}
+
+RoutingTree kmb(const Graph& g, std::span<const NodeId> net) {
+  PathOracle oracle(g);
+  return kmb(g, net, oracle);
+}
+
+}  // namespace fpr

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// The graph Steiner tree heuristic of Kou, Markowsky and Berman [26]
+/// (paper Appendix 8.1). Performance ratio 2*(1 - 1/L), L = max leaves in
+/// any optimal solution.
+///
+/// Steps: (1) build the complete distance graph over the net, (2) MST it and
+/// expand each MST edge into the corresponding shortest path, (3) MST the
+/// resulting subgraph, (4) prune pendant non-terminal leaves.
+///
+/// If the terminals are not mutually connected in the usable part of the
+/// graph, the returned tree does not span the net (callers check spans()).
+RoutingTree kmb(const Graph& g, std::span<const NodeId> net, PathOracle& oracle);
+
+/// Convenience overload with a private oracle.
+RoutingTree kmb(const Graph& g, std::span<const NodeId> net);
+
+}  // namespace fpr

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+
+#include "graph/path_oracle.hpp"
+#include "graph/routing_tree.hpp"
+
+namespace fpr {
+
+/// Memo for triple 1-medians, the dominant cost inside ZEL. IZEL evaluates
+/// ZEL once per Steiner candidate over nearly the same terminal set, and
+/// triples not involving the candidate recur verbatim; the memo is keyed by
+/// the triple's node ids and self-invalidates on graph revision changes.
+struct ZelMemo {
+  std::uint64_t revision = 0;
+  std::map<std::array<NodeId, 3>, std::pair<NodeId, Weight>> medians;
+};
+
+/// Zelikovsky's 11/6-approximation for the graph Steiner tree problem [39]
+/// (paper Appendix 8.2).
+///
+/// Repeatedly picks the terminal triple whose contraction (zeroing two of
+/// its distance-graph edges) plus best meeting point v_z yields the largest
+/// positive win = MST(G') - MST(G'[z]) - dist_z, collects the meeting points
+/// as Steiner nodes, and finishes with KMB over N plus those nodes.
+///
+/// Note: the paper's pseudo-code (Fig. 18) says "Find v which *maximizes*
+/// sum dist"; per [39] and the surrounding prose this is a typo for
+/// *minimizes* — the meeting point of a triple is its 1-median. We minimize.
+RoutingTree zelikovsky(const Graph& g, std::span<const NodeId> net, PathOracle& oracle,
+                       ZelMemo* memo = nullptr);
+
+RoutingTree zelikovsky(const Graph& g, std::span<const NodeId> net);
+
+}  // namespace fpr

@@ -1,0 +1,35 @@
+#include "workload/congestion_model.hpp"
+
+#include "steiner/kmb.hpp"
+#include "workload/random_nets.hpp"
+
+namespace fpr {
+
+const CongestionLevel& congestion_none() {
+  static const CongestionLevel kLevel{"none", 0, 1.00};
+  return kLevel;
+}
+
+const CongestionLevel& congestion_low() {
+  static const CongestionLevel kLevel{"low", 10, 1.28};
+  return kLevel;
+}
+
+const CongestionLevel& congestion_medium() {
+  static const CongestionLevel kLevel{"medium", 20, 1.55};
+  return kLevel;
+}
+
+GridGraph make_congested_grid(int width, int height, int pre_routed_nets, std::mt19937_64& rng) {
+  GridGraph grid(width, height, 1.0);
+  for (int i = 0; i < pre_routed_nets; ++i) {
+    const Net net = random_grid_net(grid, 2, 5, rng);
+    const RoutingTree tree = kmb(grid.graph(), net.terminals());
+    for (const EdgeId e : tree.edges()) {
+      grid.graph().add_edge_weight(e, 1.0);
+    }
+  }
+  return grid;
+}
+
+}  // namespace fpr

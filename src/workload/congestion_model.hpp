@@ -1,0 +1,32 @@
+#pragma once
+
+#include <random>
+
+#include "graph/grid.hpp"
+
+namespace fpr {
+
+/// Table 1's congestion model: "starting with a grid graph having unit
+/// weights on all edges, k uniformly-distributed nets (2-5 pins each) were
+/// routed using KMB. As each net was routed, the weights of the
+/// corresponding graph edges were incremented."
+///
+/// The paper's three levels: k = 0 (none, mean weight 1.00), k = 10 (low,
+/// ~1.28), k = 20 (medium, ~1.55).
+struct CongestionLevel {
+  const char* label;
+  int pre_routed_nets;       // k
+  double paper_mean_weight;  // the w-bar the paper reports for this level
+};
+
+/// The three levels in Table 1's order.
+const CongestionLevel& congestion_none();
+const CongestionLevel& congestion_low();
+const CongestionLevel& congestion_medium();
+
+/// Builds a fresh congested grid: unit weights, then k random 2-5-pin nets
+/// routed with KMB, each routed net's tree edges incremented by 1.
+/// Deterministic per rng state.
+GridGraph make_congested_grid(int width, int height, int pre_routed_nets, std::mt19937_64& rng);
+
+}  // namespace fpr

@@ -1,0 +1,26 @@
+#include "workload/random_nets.hpp"
+
+#include <algorithm>
+
+namespace fpr {
+
+Net random_grid_net(const GridGraph& grid, int pins, std::mt19937_64& rng) {
+  std::uniform_int_distribution<NodeId> any(0, grid.graph().node_count() - 1);
+  std::vector<NodeId> picked;
+  picked.reserve(static_cast<std::size_t>(pins));
+  while (static_cast<int>(picked.size()) < pins) {
+    const NodeId v = any(rng);
+    if (std::find(picked.begin(), picked.end(), v) == picked.end()) picked.push_back(v);
+  }
+  Net net;
+  net.source = picked.front();
+  net.sinks.assign(picked.begin() + 1, picked.end());
+  return net;
+}
+
+Net random_grid_net(const GridGraph& grid, int min_pins, int max_pins, std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> pin_count(min_pins, max_pins);
+  return random_grid_net(grid, pin_count(rng), rng);
+}
+
+}  // namespace fpr

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/net.hpp"
+#include "graph/grid.hpp"
+
+namespace fpr {
+
+/// Uniformly-distributed random nets on a grid graph — Table 1's test nets
+/// ("random nets, uniformly distributed in 20x20 weighted grid graphs").
+/// Pins land on distinct nodes; the first drawn pin is the source.
+Net random_grid_net(const GridGraph& grid, int pins, std::mt19937_64& rng);
+
+/// Net with a uniformly random pin count in [min_pins, max_pins] — the
+/// congestion model's pre-routed nets use 2-5 pins.
+Net random_grid_net(const GridGraph& grid, int min_pins, int max_pins, std::mt19937_64& rng);
+
+}  // namespace fpr

@@ -1,0 +1,104 @@
+#include "workload/worstcase.hpp"
+
+#include <cassert>
+
+namespace fpr {
+
+WorstCaseInstance pfa_weighted_worst_case(int sink_pairs, Weight epsilon) {
+  assert(sink_pairs >= 1);
+  const int sinks = 2 * sink_pairs;
+  // Node layout (ids chosen so decoys win MaxDom ties against the hub):
+  //   0                         source
+  //   1 .. pairs                decoys
+  //   pairs+1 .. pairs+sinks    sinks
+  //   pairs+sinks+1             hub
+  WorstCaseInstance inst;
+  inst.graph = Graph(1 + sink_pairs + sinks + 1);
+  const NodeId source = 0;
+  const auto decoy = [&](int i) { return static_cast<NodeId>(1 + i); };
+  const auto sink = [&](int j) { return static_cast<NodeId>(1 + sink_pairs + j); };
+  const NodeId hub = static_cast<NodeId>(1 + sink_pairs + sinks);
+
+  inst.graph.add_edge(source, hub, 1.0);
+  for (int j = 0; j < sinks; ++j) inst.graph.add_edge(hub, sink(j), epsilon);
+  for (int i = 0; i < sink_pairs; ++i) {
+    inst.graph.add_edge(source, decoy(i), 1.0);
+    inst.graph.add_edge(decoy(i), sink(2 * i), epsilon);
+    inst.graph.add_edge(decoy(i), sink(2 * i + 1), epsilon);
+  }
+
+  inst.net.source = source;
+  for (int j = 0; j < sinks; ++j) inst.net.sinks.push_back(sink(j));
+  inst.optimal_cost = 1.0 + sinks * epsilon;  // the hub star
+  return inst;
+}
+
+StaircaseInstance pfa_staircase(int steps) {
+  assert(steps >= 1);
+  StaircaseInstance inst{GridGraph(steps + 1, 2 * steps + 1), Net{}};
+  inst.net.source = inst.grid.node_at(0, 0);
+  // Sinks p_i = (i, 2*(steps - i)): unit horizontal, two-unit vertical
+  // interpoint spacing (Figure 11(a)); pairwise incomparable under
+  // dominance, so every sink needs its own branch.
+  for (int i = 0; i <= steps; ++i) {
+    const NodeId v = inst.grid.node_at(i, 2 * (steps - i));
+    if (v != inst.net.source) inst.net.sinks.push_back(v);
+  }
+  return inst;
+}
+
+WorstCaseInstance idom_set_cover_worst_case(int levels, Weight epsilon) {
+  assert(levels >= 1 && levels <= 20);
+  const int columns = 1 << levels;
+  const int sinks = 2 * columns;
+
+  // Trap boxes cover column ranges of exponentially decreasing size
+  // (C/2, C/4, ..., 1, plus the final leftover column); the two row boxes
+  // are the optimal cover. Trap ids precede row ids so greedy savings ties
+  // break toward the traps, as in Figure 14(d).
+  std::vector<std::pair<int, int>> trap_ranges;  // [begin, end) columns
+  int begin = 0;
+  for (int size = columns / 2; size >= 1; size /= 2) {
+    trap_ranges.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  if (begin < columns) trap_ranges.emplace_back(begin, columns);
+
+  const int traps = static_cast<int>(trap_ranges.size());
+  // Layout: 0 = source; 1..traps = trap boxes; traps+1, traps+2 = row
+  // boxes; then the sinks (row-major: sink(row, col)).
+  WorstCaseInstance inst;
+  inst.graph = Graph(1 + traps + 2 + sinks);
+  const NodeId source = 0;
+  const auto trap_node = [&](int i) { return static_cast<NodeId>(1 + i); };
+  const auto row_node = [&](int r) { return static_cast<NodeId>(1 + traps + r); };
+  const auto sink_node = [&](int r, int c) {
+    return static_cast<NodeId>(1 + traps + 2 + r * columns + c);
+  };
+
+  for (int i = 0; i < traps; ++i) {
+    inst.graph.add_edge(source, trap_node(i), 1.0);
+    for (int c = trap_ranges[static_cast<std::size_t>(i)].first;
+         c < trap_ranges[static_cast<std::size_t>(i)].second; ++c) {
+      inst.graph.add_edge(trap_node(i), sink_node(0, c), epsilon);
+      inst.graph.add_edge(trap_node(i), sink_node(1, c), epsilon);
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    inst.graph.add_edge(source, row_node(r), 1.0);
+    for (int c = 0; c < columns; ++c) {
+      inst.graph.add_edge(row_node(r), sink_node(r, c), epsilon);
+    }
+  }
+
+  inst.net.source = source;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < columns; ++c) inst.net.sinks.push_back(sink_node(r, c));
+  }
+  // Two row boxes plus one epsilon hop per sink; no cover with fewer than
+  // two unit edges exists, so this is the GSA optimum.
+  inst.optimal_cost = 2.0 + sinks * epsilon;
+  return inst;
+}
+
+}  // namespace fpr

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/net.hpp"
+#include "graph/graph.hpp"
+#include "graph/grid.hpp"
+
+namespace fpr {
+
+/// A worst-case GSA instance with its analytically-known optimal cost.
+struct WorstCaseInstance {
+  Graph graph;
+  Net net;
+  Weight optimal_cost = 0;
+};
+
+/// Figure 10: the weighted-graph family on which PFA is Theta(|N|) times
+/// optimal.
+///
+/// Construction (epsilon replaces the figure's zero-weight edges so that
+/// distances stay non-degenerate): a hub at unit distance from the source
+/// fans out to all 2*sink_pairs sinks at epsilon each — the optimal
+/// solution, cost 1 + 2*pairs*epsilon. A private decoy per sink pair sits
+/// at the same unit distance and is the farthest common MaxDom of its pair
+/// (ids make it win ties against the hub), so PFA folds every pair through
+/// its own decoy and then pays a fresh unit path per decoy: cost ~ pairs.
+WorstCaseInstance pfa_weighted_worst_case(int sink_pairs, Weight epsilon = 1e-3);
+
+/// Figure 11: the planar pointset on which PFA's ratio approaches 2 —
+/// a staircase with unit horizontal and two-unit vertical interpoint
+/// spacing, source at the origin, realized on a unit grid graph.
+struct StaircaseInstance {
+  GridGraph grid;
+  Net net;
+};
+StaircaseInstance pfa_staircase(int steps);
+
+/// Figure 14: the Set-Cover gadget forcing IDOM to Omega(log |N|) times
+/// optimal. Sinks form a 2 x (2^levels) matrix. "Row" boxes (the optimal
+/// cover, 2 of them) and "greedy trap" boxes of exponentially decreasing
+/// size (each covering exactly half of the sinks the previous traps left)
+/// are macro gadgets: a box node at unit distance from the source with
+/// epsilon edges to its covered sinks. Greedy savings ties are broken
+/// toward the traps by node id, so IDOM adopts ~`levels` boxes while the
+/// optimum uses the 2 rows.
+WorstCaseInstance idom_set_cover_worst_case(int levels, Weight epsilon = 1e-3);
+
+}  // namespace fpr

@@ -1,0 +1,117 @@
+// Family-wide arborescence properties, the invariants Table 1's "Max Path
+// (w.r.t. OPT) = 0.00" rows rest on: every construction yields optimal
+// source-sink pathlengths; wirelength ordering IDOM <= DOM and
+// PFA/IDOM >= exact GSA >= exact GMST.
+
+#include <gtest/gtest.h>
+
+#include "arbor/djka.hpp"
+#include "arbor/dom.hpp"
+#include "arbor/exact_gsa.hpp"
+#include "arbor/idom.hpp"
+#include "arbor/pfa.hpp"
+#include "graph/grid.hpp"
+#include "steiner/exact_gmst.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+struct Case {
+  unsigned seed;
+  int pins;
+};
+
+class ArborFamilyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ArborFamilyTest, AllConstructionsGiveOptimalPathlengths) {
+  const auto [seed, pins] = GetParam();
+  const auto g = testing::random_connected_graph(30, 50, seed);
+  std::mt19937_64 rng(seed * 5 + 2);
+  const auto net = testing::random_net(30, pins, rng);
+  PathOracle oracle(g);
+  const auto& spt = oracle.from(net[0]);
+
+  const auto a = djka(g, net, oracle);
+  const auto b = dom(g, net, oracle);
+  const auto c = pfa(g, net, oracle);
+  const auto d = idom(g, net, oracle);
+  for (const auto* tree : {&a, &b, &c, &d}) {
+    ASSERT_TRUE(tree->spans(net));
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_TRUE(weight_eq(tree->path_length(net[0], net[i]), spt.distance(net[i])));
+    }
+  }
+}
+
+TEST_P(ArborFamilyTest, WirelengthOrdering) {
+  const auto [seed, pins] = GetParam();
+  const auto g = testing::random_connected_graph(30, 50, seed);
+  std::mt19937_64 rng(seed * 5 + 3);
+  const auto net = testing::random_net(30, pins, rng);
+  PathOracle oracle(g);
+
+  const auto base_dom = dom(g, net, oracle);
+  const auto iter_dom = idom(g, net, oracle);
+  EXPECT_LE(iter_dom.cost(), base_dom.cost() + 1e-9);
+
+  const auto opt_gsa = exact_gsa(g, net, oracle);
+  ASSERT_TRUE(opt_gsa.has_value());
+  for (const auto* tree : {&base_dom, &iter_dom}) {
+    EXPECT_GE(tree->cost(), opt_gsa->cost() - 1e-9);
+  }
+  EXPECT_GE(pfa(g, net, oracle).cost(), opt_gsa->cost() - 1e-9);
+
+  const auto opt_gmst = exact_gmst(g, net, oracle);
+  ASSERT_TRUE(opt_gmst.has_value());
+  EXPECT_GE(opt_gsa->cost(), opt_gmst->cost() - 1e-9);
+}
+
+TEST_P(ArborFamilyTest, GridInstances) {
+  const auto [seed, pins] = GetParam();
+  GridGraph grid(10, 10);
+  std::mt19937_64 rng(seed * 5 + 4);
+  const auto net = testing::random_net(100, pins, rng);
+  PathOracle oracle(grid.graph());
+  const auto& spt = oracle.from(net[0]);
+
+  const auto p = pfa(grid.graph(), net, oracle);
+  const auto i = idom(grid.graph(), net, oracle);
+  for (const auto* tree : {&p, &i}) {
+    ASSERT_TRUE(tree->spans(net));
+    for (std::size_t s = 1; s < net.size(); ++s) {
+      EXPECT_TRUE(weight_eq(tree->path_length(net[0], net[s]), spt.distance(net[s])));
+    }
+    // On a grid, wirelength is at least the distance to the farthest sink.
+    Weight radius = 0;
+    for (std::size_t s = 1; s < net.size(); ++s) {
+      radius = std::max(radius, spt.distance(net[s]));
+    }
+    EXPECT_GE(tree->cost(), radius - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ArborFamilyTest,
+                         ::testing::Values(Case{1, 3}, Case{2, 3}, Case{3, 4}, Case{4, 4},
+                                           Case{5, 5}, Case{6, 5}, Case{7, 6}, Case{8, 6},
+                                           Case{9, 4}, Case{10, 5}, Case{11, 6}, Case{12, 3}));
+
+TEST(ArborCongestionTest, ShortestPathsFollowCongestedMetric) {
+  // Congest a corridor; arborescence must deliver shortest paths in the new
+  // metric, not the rectilinear one (Fig. 3).
+  GridGraph grid(7, 7);
+  for (int x = 0; x < 6; ++x) {
+    grid.graph().set_edge_weight(grid.horizontal_edge(x, 0), 3.0);
+  }
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(6, 0), grid.node_at(3, 2)};
+  const auto tree = pfa(grid.graph(), net, oracle);
+  ASSERT_TRUE(tree.spans(net));
+  const auto& spt = oracle.from(net[0]);
+  // Detour through row 1 is cheaper than the congested row 0: 1+6+1 = 8 < 18.
+  EXPECT_DOUBLE_EQ(spt.distance(grid.node_at(6, 0)), 8);
+  EXPECT_TRUE(weight_eq(tree.path_length(net[0], net[1]), 8));
+}
+
+}  // namespace
+}  // namespace fpr

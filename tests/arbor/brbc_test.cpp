@@ -1,0 +1,108 @@
+#include "arbor/brbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbor/idom.hpp"
+#include "steiner/kmb.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(BrbcTest, EpsilonZeroGivesOptimalPathlengths) {
+  GridGraph grid(9, 9);
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto net = testing::random_net(81, 5, rng);
+    PathOracle oracle(grid.graph());
+    const auto tree = brbc(grid.graph(), net, 0.0, oracle);
+    ASSERT_TRUE(tree.spans(net));
+    const auto& spt = oracle.from(net[0]);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_TRUE(weight_eq(tree.path_length(net[0], net[i]), spt.distance(net[i])));
+    }
+  }
+}
+
+TEST(BrbcTest, HugeEpsilonKeepsKmbCost) {
+  GridGraph grid(9, 9);
+  std::mt19937_64 rng(18);
+  const auto net = testing::random_net(81, 5, rng);
+  PathOracle oracle(grid.graph());
+  const auto base = kmb(grid.graph(), net, oracle);
+  const auto tree = brbc(grid.graph(), net, 1e9, oracle);
+  ASSERT_TRUE(tree.spans(net));
+  // No shortcut ever fires; the result is the KMB tree restricted to
+  // source-sink paths, which cannot cost more.
+  EXPECT_LE(tree.cost(), base.cost() + 1e-9);
+}
+
+TEST(BrbcTest, RadiusBoundHolds) {
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    const auto g = testing::random_connected_graph(35, 60, seed);
+    std::mt19937_64 rng(seed + 40);
+    const auto net = testing::random_net(35, 6, rng);
+    for (const double epsilon : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+      PathOracle oracle(g);
+      const auto tree = brbc(g, net, epsilon, oracle);
+      ASSERT_TRUE(tree.spans(net)) << "seed " << seed;
+      const auto& spt = oracle.from(net[0]);
+      for (std::size_t i = 1; i < net.size(); ++i) {
+        EXPECT_LE(tree.path_length(net[0], net[i]),
+                  (1.0 + epsilon) * spt.distance(net[i]) + 1e-9)
+            << "seed " << seed << " eps " << epsilon;
+      }
+    }
+  }
+}
+
+TEST(BrbcTest, CostBoundHolds) {
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    const auto g = testing::random_connected_graph(30, 50, seed);
+    std::mt19937_64 rng(seed + 60);
+    const auto net = testing::random_net(30, 5, rng);
+    PathOracle oracle(g);
+    const Weight base_cost = kmb(g, net, oracle).cost();
+    for (const double epsilon : {0.5, 1.0, 2.0}) {
+      const auto tree = brbc(g, net, epsilon, oracle);
+      EXPECT_LE(tree.cost(), (1.0 + 2.0 / epsilon) * base_cost + 1e-9);
+    }
+  }
+}
+
+TEST(BrbcTest, PaperClaimIdomDominatesAtEpsilonZero) {
+  // Section 2's argument for the new arborescences: at the pure-pathlength
+  // end, BRBC degenerates to a shortest-paths tree, while IDOM achieves the
+  // same optimal pathlengths with no more (usually less) wirelength.
+  int idom_wins_or_ties = 0;
+  const int trials = 10;
+  for (unsigned seed = 0; seed < trials; ++seed) {
+    const auto g = testing::random_connected_graph(30, 50, seed + 100);
+    std::mt19937_64 rng(seed + 200);
+    const auto net = testing::random_net(30, 5, rng);
+    PathOracle oracle(g);
+    const auto spt_tree = brbc(g, net, 0.0, oracle);
+    const auto idom_tree = idom(g, net, oracle);
+    ASSERT_TRUE(idom_tree.spans(net));
+    if (idom_tree.cost() <= spt_tree.cost() + 1e-9) ++idom_wins_or_ties;
+  }
+  EXPECT_GE(idom_wins_or_ties, trials - 1);  // dominance, allowing one fluke
+}
+
+TEST(BrbcTest, DegenerateNets) {
+  GridGraph grid(4, 4);
+  EXPECT_TRUE(brbc(grid.graph(), std::vector<NodeId>{}, 1.0).empty());
+  EXPECT_TRUE(brbc(grid.graph(), std::vector<NodeId>{3}, 1.0).empty());
+  const std::vector<NodeId> pair{0, 15};
+  EXPECT_DOUBLE_EQ(brbc(grid.graph(), pair, 1.0).cost(), 6);
+}
+
+TEST(BrbcTest, UnroutableNetReported) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  const std::vector<NodeId> net{0, 2};
+  EXPECT_FALSE(brbc(g, net, 1.0).spans(net));
+}
+
+}  // namespace
+}  // namespace fpr

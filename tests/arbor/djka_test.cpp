@@ -1,0 +1,70 @@
+#include "arbor/djka.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(DjkaTest, SingleSinkIsShortestPath) {
+  GridGraph grid(6, 6);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(5, 2)};
+  const auto tree = djka(grid.graph(), net);
+  EXPECT_TRUE(tree.spans(net));
+  EXPECT_DOUBLE_EQ(tree.cost(), 7);
+  EXPECT_DOUBLE_EQ(tree.path_length(net[0], net[1]), 7);
+}
+
+TEST(DjkaTest, PrunesNonSinkBranches) {
+  GridGraph grid(5, 5);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(2, 0), grid.node_at(0, 2)};
+  const auto tree = djka(grid.graph(), net);
+  EXPECT_TRUE(tree.spans(net));
+  EXPECT_TRUE(tree.is_tree());
+  // Two straight arms of length 2; the SPT contains nothing else after
+  // restriction to source-sink paths.
+  EXPECT_DOUBLE_EQ(tree.cost(), 4);
+}
+
+TEST(DjkaTest, AllSinkPathsAreShortest) {
+  GridGraph grid(8, 8);
+  std::mt19937_64 rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto net = testing::random_net(64, 6, rng);
+    PathOracle oracle(grid.graph());
+    const auto tree = djka(grid.graph(), net, oracle);
+    ASSERT_TRUE(tree.spans(net));
+    const auto& spt = oracle.from(net[0]);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_TRUE(weight_eq(tree.path_length(net[0], net[i]), spt.distance(net[i])));
+    }
+  }
+}
+
+TEST(DjkaTest, UnreachableSinkNotSpanned) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  const std::vector<NodeId> net{0, 1, 2};
+  const auto tree = djka(g, net);
+  EXPECT_FALSE(tree.spans(net));
+  // The reachable sink is still wired.
+  EXPECT_DOUBLE_EQ(tree.path_length(0, 1), 1);
+}
+
+TEST(DjkaTest, EmptyAndSingletonNets) {
+  GridGraph grid(3, 3);
+  EXPECT_TRUE(djka(grid.graph(), std::vector<NodeId>{}).empty());
+  EXPECT_TRUE(djka(grid.graph(), std::vector<NodeId>{4}).empty());
+}
+
+TEST(DjkaTest, DuplicateSinksAreHandled) {
+  GridGraph grid(4, 4);
+  const std::vector<NodeId> net{0, 3, 3, 3};
+  const auto tree = djka(grid.graph(), net);
+  EXPECT_DOUBLE_EQ(tree.cost(), 3);
+}
+
+}  // namespace
+}  // namespace fpr

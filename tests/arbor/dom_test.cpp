@@ -1,0 +1,101 @@
+#include "arbor/dom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbor/djka.hpp"
+#include "graph/grid.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(DomTest, ChainOfDominatingSinksSharesOneRun) {
+  // Sinks along one row: each dominates the previous, so DOM builds a single
+  // straight run instead of separate source paths.
+  GridGraph grid(8, 3);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(3, 0), grid.node_at(5, 0),
+                                grid.node_at(7, 0)};
+  const auto tree = dom(grid.graph(), net);
+  ASSERT_TRUE(tree.spans(net));
+  EXPECT_DOUBLE_EQ(tree.cost(), 7);
+}
+
+TEST(DomTest, PathlengthsAlwaysOptimal) {
+  GridGraph grid(8, 8);
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto net = testing::random_net(64, 5, rng);
+    PathOracle oracle(grid.graph());
+    const auto tree = dom(grid.graph(), net, oracle);
+    ASSERT_TRUE(tree.spans(net));
+    const auto& spt = oracle.from(net[0]);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_TRUE(weight_eq(tree.path_length(net[0], net[i]), spt.distance(net[i])))
+          << "sink " << net[i];
+    }
+  }
+}
+
+TEST(DomTest, NeverWorseThanDjkaOnAlignedSinks) {
+  // When sinks dominate one another, DOM folds paths that DJKA may not.
+  GridGraph grid(10, 10);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(4, 4), grid.node_at(8, 8)};
+  const auto d = dom(grid.graph(), net);
+  ASSERT_TRUE(d.spans(net));
+  EXPECT_DOUBLE_EQ(d.cost(), 16);  // one monotone staircase through both sinks
+}
+
+TEST(DomTest, IndependentArmsCostFullDistance) {
+  GridGraph grid(5, 5);
+  const std::vector<NodeId> net{grid.node_at(2, 2), grid.node_at(2, 0), grid.node_at(0, 2),
+                                grid.node_at(4, 2), grid.node_at(2, 4)};
+  const auto tree = dom(grid.graph(), net);
+  ASSERT_TRUE(tree.spans(net));
+  // No sink dominates another (opposite arms): four separate spokes.
+  EXPECT_DOUBLE_EQ(tree.cost(), 8);
+}
+
+TEST(DomTest, WorksOnWeightedRandomGraphs) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const auto g = testing::random_connected_graph(40, 70, seed);
+    std::mt19937_64 rng(seed + 77);
+    const auto net = testing::random_net(40, 6, rng);
+    PathOracle oracle(g);
+    const auto tree = dom(g, net, oracle);
+    ASSERT_TRUE(tree.spans(net));
+    const auto& spt = oracle.from(net[0]);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_TRUE(weight_eq(tree.path_length(net[0], net[i]), spt.distance(net[i])));
+    }
+  }
+}
+
+TEST(DomTest, ZeroWeightMutualDominanceStillSpans) {
+  // Two sinks joined by a zero edge at equal distance: naive "connect to
+  // nearest dominated" could produce a disconnected two-cycle; the
+  // construction must recover.
+  Graph g(4);
+  g.add_edge(0, 1, 2);  // source 0 -> hub 1
+  g.add_edge(1, 2, 1);  // sink 2
+  g.add_edge(1, 3, 1);  // sink 3
+  g.add_edge(2, 3, 0);  // zero edge: 2 and 3 dominate each other
+  const std::vector<NodeId> net{0, 2, 3};
+  PathOracle oracle(g);
+  const auto tree = dom(g, net, oracle);
+  ASSERT_TRUE(tree.spans(net));
+  EXPECT_TRUE(weight_eq(tree.path_length(0, 2), 3));
+  EXPECT_TRUE(weight_eq(tree.path_length(0, 3), 3));
+}
+
+TEST(DomTest, UnreachableSinkLeavesRestRouted) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  const std::vector<NodeId> net{0, 2, 3};
+  const auto tree = dom(g, net);
+  EXPECT_FALSE(tree.spans(net));
+  EXPECT_TRUE(weight_eq(tree.path_length(0, 2), 2));
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,116 @@
+#include "arbor/dominance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+class DominanceGridTest : public ::testing::Test {
+ protected:
+  DominanceGridTest() : grid_(6, 6), oracle_(grid_.graph()), source_(grid_.node_at(0, 0)) {}
+  GridGraph grid_;
+  PathOracle oracle_;
+  NodeId source_;
+};
+
+TEST_F(DominanceGridTest, MatchesRectilinearDominanceOnUnitGrid) {
+  // On an uncongested grid rooted at the origin, p dominates s iff s lies in
+  // p's lower-left quadrant (the Manhattan-plane definition of Fig. 7).
+  const NodeId p = grid_.node_at(3, 2);
+  EXPECT_TRUE(dominates(oracle_, source_, p, grid_.node_at(1, 1)));
+  EXPECT_TRUE(dominates(oracle_, source_, p, grid_.node_at(3, 0)));
+  EXPECT_TRUE(dominates(oracle_, source_, p, grid_.node_at(0, 2)));
+  EXPECT_FALSE(dominates(oracle_, source_, p, grid_.node_at(4, 0)));
+  EXPECT_FALSE(dominates(oracle_, source_, p, grid_.node_at(1, 3)));
+}
+
+TEST_F(DominanceGridTest, ReflexiveAndSourceCases) {
+  const NodeId p = grid_.node_at(2, 4);
+  EXPECT_TRUE(dominates(oracle_, source_, p, p));
+  EXPECT_TRUE(dominates(oracle_, source_, p, source_));   // everything sits above n0
+  EXPECT_FALSE(dominates(oracle_, source_, source_, p));  // n0 dominates only itself
+}
+
+TEST_F(DominanceGridTest, MaxDomIsTheMeetOfQuadrants) {
+  const NodeId p = grid_.node_at(3, 1);
+  const NodeId q = grid_.node_at(1, 3);
+  const NodeId m = max_dom(grid_.graph(), oracle_, source_, p, q);
+  EXPECT_EQ(m, grid_.node_at(1, 1));
+}
+
+TEST_F(DominanceGridTest, MaxDomWhenOneDominatesTheOther) {
+  const NodeId p = grid_.node_at(4, 4);
+  const NodeId q = grid_.node_at(2, 2);
+  // q is in p's quadrant, so the farthest commonly-dominated node is q.
+  EXPECT_EQ(max_dom(grid_.graph(), oracle_, source_, p, q), q);
+}
+
+TEST_F(DominanceGridTest, MaxDomOfOppositeArmsIsSource) {
+  const NodeId p = grid_.node_at(5, 0);
+  const NodeId q = grid_.node_at(0, 5);
+  EXPECT_EQ(max_dom(grid_.graph(), oracle_, source_, p, q), source_);
+}
+
+TEST_F(DominanceGridTest, MaxDomWithinRestrictsToCandidates) {
+  const NodeId p = grid_.node_at(3, 1);
+  const NodeId q = grid_.node_at(1, 3);
+  const std::vector<NodeId> only_source{source_};
+  EXPECT_EQ(max_dom_within(oracle_, source_, p, q, only_source), source_);
+  const std::vector<NodeId> with_meet{source_, grid_.node_at(1, 1), grid_.node_at(1, 0)};
+  EXPECT_EQ(max_dom_within(oracle_, source_, p, q, with_meet), grid_.node_at(1, 1));
+}
+
+TEST(DominanceDetourTest, FollowsGraphMetricNotGeometry) {
+  // Congest the straight corridor so the shortest path detours; dominance
+  // must follow the *graph* metric (Fig. 3 motivation).
+  GridGraph grid(5, 3);
+  for (int x = 0; x < 4; ++x) grid.graph().set_edge_weight(grid.horizontal_edge(x, 0), 10);
+  PathOracle oracle(grid.graph());
+  const NodeId source = grid.node_at(0, 0);
+  const NodeId p = grid.node_at(4, 0);
+  // d(src, p) = 1 + 4 + 1 = 6 via row 1; the row-1 node (2,1) lies on it.
+  EXPECT_TRUE(dominates(oracle, source, p, grid.node_at(2, 1)));
+  // The geometric in-between (2,0) is NOT on any shortest path now.
+  EXPECT_FALSE(dominates(oracle, source, p, grid.node_at(2, 0)));
+}
+
+TEST(DominanceUnreachableTest, MaxDomInvalidWhenDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  // 2, 3 unreachable from 0.
+  PathOracle oracle(g);
+  EXPECT_EQ(max_dom(g, oracle, 0, 2, 3), kInvalidNode);
+  EXPECT_FALSE(dominates(oracle, 0, 2, 1));
+}
+
+TEST(DominanceZeroWeightTest, ZeroEdgesCreateMutualDominance) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 0);
+  PathOracle oracle(g);
+  EXPECT_TRUE(dominates(oracle, 0, 1, 2));
+  EXPECT_TRUE(dominates(oracle, 0, 2, 1));
+}
+
+class DominancePropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DominancePropertyTest, DefinitionHoldsOnRandomGraphs) {
+  const auto g = testing::random_connected_graph(30, 45, GetParam());
+  std::mt19937_64 rng(GetParam() + 50);
+  const auto picks = testing::random_net(30, 3, rng);
+  PathOracle oracle(g);
+  const NodeId n0 = picks[0], p = picks[1], s = picks[2];
+  const bool dom = dominates(oracle, n0, p, s);
+  const Weight lhs = oracle.from(n0).distance(p);
+  const Weight rhs = oracle.from(n0).distance(s) + oracle.from(p).distance(s);
+  EXPECT_EQ(dom, weight_eq(lhs, rhs));
+  EXPECT_LE(lhs, rhs + 1e-9);  // triangle inequality: dominance is the tight case
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominancePropertyTest, ::testing::Range(0u, 12u));
+
+}  // namespace
+}  // namespace fpr

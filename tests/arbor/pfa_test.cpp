@@ -1,0 +1,105 @@
+#include "arbor/pfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbor/djka.hpp"
+#include "arbor/dom.hpp"
+#include "graph/grid.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(PfaTest, FoldsTwoSinksThroughTheirMeet) {
+  // Sinks at (3,1) and (1,3): MaxDom is (1,1); folding shares the trunk
+  // from the source to (1,1). Total = 2 (trunk) + 2 + 2 = 6, versus 4+4=8
+  // unfolded.
+  GridGraph grid(5, 5);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(3, 1), grid.node_at(1, 3)};
+  const auto tree = pfa(grid.graph(), net);
+  ASSERT_TRUE(tree.spans(net));
+  EXPECT_DOUBLE_EQ(tree.cost(), 6);
+  EXPECT_TRUE(tree.contains_node(grid.node_at(1, 1)));
+  // Pathlengths stay optimal.
+  EXPECT_DOUBLE_EQ(tree.path_length(net[0], net[1]), 4);
+  EXPECT_DOUBLE_EQ(tree.path_length(net[0], net[2]), 4);
+}
+
+TEST(PfaTest, BeatsDjkaWirelengthOnFoldableInstances) {
+  GridGraph grid(7, 7);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(5, 2), grid.node_at(2, 5),
+                                grid.node_at(4, 4)};
+  PathOracle oracle(grid.graph());
+  const auto folded = pfa(grid.graph(), net, oracle);
+  const auto plain = djka(grid.graph(), net, oracle);
+  ASSERT_TRUE(folded.spans(net));
+  EXPECT_LE(folded.cost(), plain.cost() + 1e-9);
+}
+
+TEST(PfaTest, PathlengthsAlwaysOptimalOnRandomGrids) {
+  GridGraph grid(9, 9);
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto net = testing::random_net(81, 6, rng);
+    PathOracle oracle(grid.graph());
+    const auto tree = pfa(grid.graph(), net, oracle);
+    ASSERT_TRUE(tree.spans(net));
+    const auto& spt = oracle.from(net[0]);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_TRUE(weight_eq(tree.path_length(net[0], net[i]), spt.distance(net[i])));
+    }
+  }
+}
+
+TEST(PfaTest, PathlengthsOptimalOnWeightedRandomGraphs) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    const auto g = testing::random_connected_graph(35, 60, seed);
+    std::mt19937_64 rng(seed + 123);
+    const auto net = testing::random_net(35, 5, rng);
+    PathOracle oracle(g);
+    const auto tree = pfa(g, net, oracle);
+    ASSERT_TRUE(tree.spans(net));
+    const auto& spt = oracle.from(net[0]);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_TRUE(weight_eq(tree.path_length(net[0], net[i]), spt.distance(net[i])));
+    }
+  }
+}
+
+TEST(PfaTest, TwoPinNetIsShortestPath) {
+  GridGraph grid(6, 6);
+  const std::vector<NodeId> net{grid.node_at(1, 1), grid.node_at(4, 5)};
+  const auto tree = pfa(grid.graph(), net);
+  EXPECT_DOUBLE_EQ(tree.cost(), 7);
+}
+
+TEST(PfaTest, EmptySingletonAndDuplicateNets) {
+  GridGraph grid(4, 4);
+  EXPECT_TRUE(pfa(grid.graph(), std::vector<NodeId>{}).empty());
+  EXPECT_TRUE(pfa(grid.graph(), std::vector<NodeId>{5}).empty());
+  const std::vector<NodeId> dup{0, 3, 3};
+  EXPECT_DOUBLE_EQ(pfa(grid.graph(), dup).cost(), 3);
+}
+
+TEST(PfaTest, UnreachableSinkNotSpannedButOthersRouted) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  const std::vector<NodeId> net{0, 2, 3};
+  const auto tree = pfa(g, net);
+  EXPECT_FALSE(tree.spans(net));
+  EXPECT_TRUE(weight_eq(tree.path_length(0, 2), 2));
+}
+
+TEST(PfaTest, MatchesDomWhenNoGoodSteinerExists) {
+  // Opposite arms: no folding possible, both reduce to star of spokes.
+  GridGraph grid(5, 5);
+  const std::vector<NodeId> net{grid.node_at(2, 2), grid.node_at(0, 2), grid.node_at(4, 2)};
+  const auto p = pfa(grid.graph(), net);
+  const auto d = dom(grid.graph(), net);
+  EXPECT_DOUBLE_EQ(p.cost(), 4);
+  EXPECT_DOUBLE_EQ(d.cost(), 4);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,113 @@
+#include "core/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(RouteTest, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(Algorithm::kKmb), "KMB");
+  EXPECT_EQ(algorithm_name(Algorithm::kZel), "ZEL");
+  EXPECT_EQ(algorithm_name(Algorithm::kIkmb), "IKMB");
+  EXPECT_EQ(algorithm_name(Algorithm::kIzel), "IZEL");
+  EXPECT_EQ(algorithm_name(Algorithm::kDjka), "DJKA");
+  EXPECT_EQ(algorithm_name(Algorithm::kDom), "DOM");
+  EXPECT_EQ(algorithm_name(Algorithm::kPfa), "PFA");
+  EXPECT_EQ(algorithm_name(Algorithm::kIdom), "IDOM");
+}
+
+TEST(RouteTest, ArborescenceClassification) {
+  EXPECT_FALSE(is_arborescence_algorithm(Algorithm::kKmb));
+  EXPECT_FALSE(is_arborescence_algorithm(Algorithm::kIzel));
+  EXPECT_TRUE(is_arborescence_algorithm(Algorithm::kDjka));
+  EXPECT_TRUE(is_arborescence_algorithm(Algorithm::kDom));
+  EXPECT_TRUE(is_arborescence_algorithm(Algorithm::kPfa));
+  EXPECT_TRUE(is_arborescence_algorithm(Algorithm::kIdom));
+  EXPECT_TRUE(is_arborescence_algorithm(Algorithm::kExactGsa));
+}
+
+TEST(RouteTest, Table1OrderMatchesPaper) {
+  const auto algos = table1_algorithms();
+  ASSERT_EQ(algos.size(), 8u);
+  EXPECT_EQ(algos[0], Algorithm::kKmb);
+  EXPECT_EQ(algos[3], Algorithm::kIzel);
+  EXPECT_EQ(algos[4], Algorithm::kDjka);
+  EXPECT_EQ(algos[7], Algorithm::kIdom);
+}
+
+TEST(RouteTest, EveryAlgorithmSpansARoutableNet) {
+  GridGraph grid(8, 8);
+  Net net;
+  net.source = grid.node_at(1, 1);
+  net.sinks = {grid.node_at(6, 2), grid.node_at(2, 6), grid.node_at(5, 5)};
+  for (const Algorithm a :
+       {Algorithm::kKmb, Algorithm::kZel, Algorithm::kIkmb, Algorithm::kIzel, Algorithm::kDjka,
+        Algorithm::kDom, Algorithm::kPfa, Algorithm::kIdom, Algorithm::kExactGmst,
+        Algorithm::kExactGsa}) {
+    PathOracle oracle(grid.graph());
+    const auto tree = route(grid.graph(), net, a, oracle);
+    EXPECT_TRUE(tree.spans(net.terminals())) << algorithm_name(a);
+  }
+}
+
+TEST(RouteTest, ArborescenceAlgorithmsDeliverShortestPaths) {
+  GridGraph grid(8, 8);
+  Net net;
+  net.source = grid.node_at(0, 0);
+  net.sinks = {grid.node_at(7, 3), grid.node_at(3, 7)};
+  PathOracle oracle(grid.graph());
+  const auto& spt = oracle.from(net.source);
+  for (const Algorithm a :
+       {Algorithm::kDjka, Algorithm::kDom, Algorithm::kPfa, Algorithm::kIdom,
+        Algorithm::kExactGsa}) {
+    const auto tree = route(grid.graph(), net, a, oracle);
+    for (const NodeId s : net.sinks) {
+      EXPECT_TRUE(weight_eq(tree.path_length(net.source, s), spt.distance(s)))
+          << algorithm_name(a);
+    }
+  }
+}
+
+TEST(RouteTest, ExactSolversFallBackAboveTerminalLimit) {
+  // 16 pins exceed the subset-DP limit of 14; route() must still succeed
+  // via the iterated heuristics.
+  GridGraph grid(10, 10);
+  Net net;
+  net.source = grid.node_at(0, 0);
+  std::mt19937_64 rng(9);
+  for (const NodeId v : testing::random_net(100, 16, rng)) {
+    if (v != net.source) net.sinks.push_back(v);
+  }
+  const auto gmst_tree = route(grid.graph(), net, Algorithm::kExactGmst);
+  EXPECT_TRUE(gmst_tree.spans(net.terminals()));
+  const auto gsa_tree = route(grid.graph(), net, Algorithm::kExactGsa);
+  EXPECT_TRUE(gsa_tree.spans(net.terminals()));
+}
+
+TEST(RouteTest, OptionsArePassedThrough) {
+  GridGraph grid(8, 8);
+  Net net;
+  net.source = grid.node_at(0, 0);
+  net.sinks = {grid.node_at(6, 1), grid.node_at(1, 6)};
+  RouteOptions options;
+  options.candidates = CandidateStrategy::kCorridor;
+  options.max_candidates = 4;
+  const auto tree = route(grid.graph(), net, Algorithm::kIkmb, options);
+  EXPECT_TRUE(tree.spans(net.terminals()));
+}
+
+TEST(NetTest, TerminalsPutSourceFirst) {
+  Net net;
+  net.source = 7;
+  net.sinks = {3, 9};
+  const auto t = net.terminals();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 7);
+  EXPECT_EQ(net.pin_count(), 3);
+}
+
+}  // namespace
+}  // namespace fpr

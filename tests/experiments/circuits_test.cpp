@@ -1,0 +1,120 @@
+// Integration tests of the circuit width experiments on a scaled-down
+// profile (the paper-profile sweeps live in the bench binaries).
+
+#include <gtest/gtest.h>
+
+#include "experiments/table45.hpp"
+#include "experiments/tables23.hpp"
+
+namespace fpr {
+namespace {
+
+CircuitProfile toy_profile() {
+  CircuitProfile p;
+  p.name = "toy";
+  p.rows = 6;
+  p.cols = 6;
+  p.nets_2_3 = 18;
+  p.nets_4_10 = 5;
+  p.nets_over_10 = 0;
+  p.paper_cge = 5;
+  p.paper_sega = 5;
+  p.paper_gbp = 5;
+  p.paper_ikmb = 4;
+  p.paper_pfa = 5;
+  p.paper_idom = 5;
+  p.paper_table5_width = 6;
+  return p;
+}
+
+TEST(WidthExperimentTest, OursBeatsTwoPinBaseline) {
+  WidthExperimentOptions options;
+  options.seed = 11;
+  options.max_passes = 6;
+  options.max_width = 12;
+  const std::vector<CircuitProfile> profiles{toy_profile()};
+  const auto result = run_width_experiment(profiles, ArchFamily::kXc4000, options);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const auto& row = result.rows[0];
+  ASSERT_GT(row.ours, 0);
+  ASSERT_GT(row.baseline, 0);
+  // The paper's central routing claim: whole-net Steiner routing needs no
+  // more channel width than 2-pin decomposition (strictly less on average).
+  EXPECT_LE(row.ours, row.baseline);
+  EXPECT_TRUE(row.ours_at_min.success);
+}
+
+TEST(WidthExperimentTest, BothFamiliesRoute) {
+  WidthExperimentOptions options;
+  options.seed = 11;
+  options.max_passes = 5;
+  options.max_width = 12;
+  options.run_baseline = false;
+  const std::vector<CircuitProfile> profiles{toy_profile()};
+  for (const auto family : {ArchFamily::kXc3000, ArchFamily::kXc4000}) {
+    const auto result = run_width_experiment(profiles, family, options);
+    EXPECT_GT(result.rows[0].ours, 0);
+  }
+}
+
+TEST(WidthExperimentTest, RenderQuotesPaperAndMeasured) {
+  WidthExperimentOptions options;
+  options.seed = 11;
+  options.max_passes = 4;
+  options.max_width = 10;
+  const std::vector<CircuitProfile> profiles{toy_profile()};
+  const auto result = run_width_experiment(profiles, ArchFamily::kXc4000, options);
+  const std::string text = render_width_experiment(result);
+  EXPECT_NE(text.find("toy"), std::string::npos);
+  EXPECT_NE(text.find("SEGA(paper)"), std::string::npos);
+  EXPECT_NE(text.find("2-pin baseline"), std::string::npos);
+}
+
+TEST(Table4Test, ArborescenceWidthsAtLeastIkmb) {
+  Table4Options options;
+  options.seed = 13;
+  options.max_passes = 5;
+  options.max_width = 12;
+  const std::vector<CircuitProfile> profiles{toy_profile()};
+  const auto result = run_table4(profiles, options);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const auto& row = result.rows[0];
+  ASSERT_GT(row.ikmb, 0);
+  ASSERT_GT(row.pfa, 0);
+  ASSERT_GT(row.idom, 0);
+  // Table 4's shape: PFA/IDOM pay a width premium (or tie) vs IKMB, and
+  // IDOM is never worse than PFA by more than rounding.
+  EXPECT_GE(row.pfa, row.ikmb);
+  EXPECT_GE(row.idom, row.ikmb);
+}
+
+TEST(Table5Test, DeltasHaveTheRightSigns) {
+  Table5Options options;
+  options.seed = 13;
+  options.max_passes = 6;
+  options.widths = {7};
+  const std::vector<CircuitProfile> profiles{toy_profile()};
+  const auto result = run_table5(profiles, options);
+  ASSERT_EQ(result.rows.size(), 1u);
+  const auto& row = result.rows[0];
+  ASSERT_TRUE(row.all_routed);
+  // PFA/IDOM buy shorter max paths (<= 0) with extra wirelength (>= 0).
+  EXPECT_GE(row.pfa_wire_pct, -1e-9);
+  EXPECT_GE(row.idom_wire_pct, -1e-9);
+  EXPECT_LE(row.pfa_path_pct, 1e-9);
+  EXPECT_LE(row.idom_path_pct, 1e-9);
+}
+
+TEST(Table5Test, RenderIncludesAverages) {
+  Table5Options options;
+  options.seed = 13;
+  options.max_passes = 4;
+  options.widths = {7};
+  const std::vector<CircuitProfile> profiles{toy_profile()};
+  const std::string text = render_table5(run_table5(profiles, options));
+  EXPECT_NE(text.find("Measured averages"), std::string::npos);
+  EXPECT_NE(text.find("paper"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,64 @@
+#include "experiments/figures.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+TEST(Fig4Test, FindsAnInstanceWithTheFigureShape) {
+  const Fig4Result r = run_fig4();
+  ASSERT_GT(r.kmb_wire, 0) << "search failed to find a Figure-4-shaped instance";
+  // IGMST strictly beats KMB and is optimal.
+  EXPECT_LT(r.ikmb_wire, r.kmb_wire);
+  EXPECT_DOUBLE_EQ(r.ikmb_wire, r.opt_steiner_wire);
+  // IDOM strictly beats DJKA and is the optimal arborescence.
+  EXPECT_LT(r.idom_wire, r.djka_wire);
+  EXPECT_DOUBLE_EQ(r.idom_wire, r.opt_arb_wire);
+  // Arborescences reach every sink at graph distance.
+  EXPECT_DOUBLE_EQ(r.djka_max_path, r.optimal_max_path);
+  EXPECT_DOUBLE_EQ(r.idom_max_path, r.optimal_max_path);
+  // KMB's pathlength is strictly suboptimal on this instance, so IDOM wins
+  // both metrics simultaneously — the Fig. 4(d) observation.
+  EXPECT_GT(r.kmb_max_path, r.optimal_max_path);
+  EXPECT_GT(r.kmb_wire_overhead_pct, 0);
+  EXPECT_GT(r.idom_path_improvement_pct, 0);
+}
+
+TEST(Fig4Test, RenderMentionsPaperPercentages) {
+  const std::string text = render_fig4(run_fig4());
+  EXPECT_NE(text.find("12.5%"), std::string::npos);
+  EXPECT_NE(text.find("IDOM"), std::string::npos);
+}
+
+TEST(FigureSweepsTest, Fig10RatiosGrow) {
+  const auto points = run_fig10({2, 4, 8});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].ratio, points[1].ratio);
+  EXPECT_LT(points[1].ratio, points[2].ratio);
+}
+
+TEST(FigureSweepsTest, Fig11RatiosBoundedByTwo) {
+  const auto points = run_fig11({2, 4});
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_GE(p.ratio, 1.0 - 1e-9);
+    EXPECT_LE(p.ratio, 2.0 + 1e-9);
+  }
+}
+
+TEST(FigureSweepsTest, Fig14RatiosGrow) {
+  const auto points = run_fig14({2, 3});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points[0].ratio, 1.0);
+  EXPECT_LT(points[0].ratio, points[1].ratio);
+  EXPECT_EQ(points[0].n, 8);  // 2^(levels+1) sinks
+}
+
+TEST(FigureSweepsTest, RenderProducesTable) {
+  const std::string text = render_ratio_sweep("Fig 10", run_fig10({2}));
+  EXPECT_NE(text.find("Fig 10"), std::string::npos);
+  EXPECT_NE(text.find("ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,86 @@
+// Medium-size Table 1 integration: reproduces the paper's qualitative
+// findings (orderings and the congestion crossover) with enough nets for
+// the averages to be stable, on the real 20x20 substrate. Kept below bench
+// scale so the test stays in CI time.
+
+#include <gtest/gtest.h>
+
+#include "experiments/table1.hpp"
+
+namespace fpr {
+namespace {
+
+class Table1ShapeTest : public ::testing::Test {
+ protected:
+  static const Table1Result& result() {
+    static const Table1Result r = [] {
+      Table1Options options;
+      options.nets_per_config = 12;
+      options.net_sizes = {5};
+      options.seed = 77;
+      return run_table1(options);
+    }();
+    return r;
+  }
+  // Algorithm row indices in table1_algorithms() order.
+  static constexpr int kKmb = 0, kZel = 1, kIkmb = 2, kIzel = 3, kDjka = 4, kDom = 5,
+                       kPfa = 6, kIdom = 7;
+};
+
+TEST_F(Table1ShapeTest, SteinerFamilyBeatsKmb) {
+  for (const auto& block : result().blocks) {
+    EXPECT_LT(block.cells[kZel][0].wirelength_pct, 0);
+    EXPECT_LT(block.cells[kIkmb][0].wirelength_pct, 0);
+    EXPECT_LT(block.cells[kIzel][0].wirelength_pct, 0);
+  }
+}
+
+TEST_F(Table1ShapeTest, IteratedBeatsPlain) {
+  for (const auto& block : result().blocks) {
+    EXPECT_LE(block.cells[kIkmb][0].wirelength_pct,
+              block.cells[kKmb][0].wirelength_pct + 1e-9);
+    EXPECT_LE(block.cells[kIzel][0].wirelength_pct,
+              block.cells[kZel][0].wirelength_pct + 1e-9);
+  }
+}
+
+TEST_F(Table1ShapeTest, ArborescenceWirelengthOrdering) {
+  // Paper: IDOM <= PFA <= DOM <= DJKA, consistently across levels.
+  for (const auto& block : result().blocks) {
+    EXPECT_LE(block.cells[kIdom][0].wirelength_pct,
+              block.cells[kPfa][0].wirelength_pct + 0.5);
+    EXPECT_LE(block.cells[kPfa][0].wirelength_pct,
+              block.cells[kDom][0].wirelength_pct + 1e-9);
+    EXPECT_LE(block.cells[kDom][0].wirelength_pct,
+              block.cells[kDjka][0].wirelength_pct + 1e-9);
+  }
+}
+
+TEST_F(Table1ShapeTest, PfaIdomBeatKmbWithoutCongestion) {
+  // The paper's "rather surprising" observation: on uncongested grids the
+  // arborescences use LESS wirelength than KMB despite also optimizing
+  // delay.
+  const auto& uncongested = result().blocks[0];
+  EXPECT_LT(uncongested.cells[kPfa][0].wirelength_pct, 0);
+  EXPECT_LT(uncongested.cells[kIdom][0].wirelength_pct, 0);
+}
+
+TEST_F(Table1ShapeTest, CongestionCrossover) {
+  // Under medium congestion the shortest-path constraint starts to cost
+  // wirelength: PFA/IDOM flip from negative to positive vs KMB.
+  const auto& medium = result().blocks[2];
+  EXPECT_GT(medium.cells[kPfa][0].wirelength_pct, 0);
+  EXPECT_GT(medium.cells[kIdom][0].wirelength_pct, 0);
+}
+
+TEST_F(Table1ShapeTest, KmbMaxPathSuboptimal) {
+  for (const auto& block : result().blocks) {
+    EXPECT_GT(block.cells[kKmb][0].max_path_pct, 5.0);
+    for (const int arb : {kDjka, kDom, kPfa, kIdom}) {
+      EXPECT_NEAR(block.cells[arb][0].max_path_pct, 0.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,100 @@
+// Integration test of the Table 1 driver on a reduced configuration (the
+// full 50-net 20x20 sweep lives in bench/table1_steiner_arborescence).
+
+#include "experiments/table1.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+Table1Options small_config() {
+  Table1Options options;
+  options.grid_width = 10;
+  options.grid_height = 10;
+  options.nets_per_config = 4;
+  options.net_sizes = {5};
+  options.levels = {congestion_none(), congestion_low()};
+  options.seed = 3;
+  return options;
+}
+
+TEST(Table1Test, StructureMatchesConfiguration) {
+  const auto result = run_table1(small_config());
+  ASSERT_EQ(result.blocks.size(), 2u);
+  for (const auto& block : result.blocks) {
+    ASSERT_EQ(block.cells.size(), 8u);          // eight algorithms
+    ASSERT_EQ(block.cells[0].size(), 1u);       // one net size
+  }
+}
+
+TEST(Table1Test, KmbRowIsTheZeroReference) {
+  const auto result = run_table1(small_config());
+  for (const auto& block : result.blocks) {
+    EXPECT_DOUBLE_EQ(block.cells[0][0].wirelength_pct, 0.0);  // KMB vs itself
+  }
+}
+
+TEST(Table1Test, ArborescenceRowsHaveZeroPathOverhead) {
+  const auto result = run_table1(small_config());
+  const auto algorithms = table1_algorithms();
+  for (const auto& block : result.blocks) {
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      if (is_arborescence_algorithm(algorithms[a])) {
+        EXPECT_NEAR(block.cells[a][0].max_path_pct, 0.0, 1e-9)
+            << algorithm_name(algorithms[a]);
+      } else {
+        EXPECT_GE(block.cells[a][0].max_path_pct, -1e-9);
+      }
+    }
+  }
+}
+
+TEST(Table1Test, IteratedRowsNeverWorseThanPlain) {
+  const auto result = run_table1(small_config());
+  for (const auto& block : result.blocks) {
+    // Order: KMB, ZEL, IKMB, IZEL, ...
+    EXPECT_LE(block.cells[2][0].wirelength_pct, block.cells[0][0].wirelength_pct + 1e-9);
+    EXPECT_LE(block.cells[3][0].wirelength_pct, block.cells[1][0].wirelength_pct + 1e-9);
+  }
+}
+
+TEST(Table1Test, CongestionRaisesMeasuredMeanWeight) {
+  const auto result = run_table1(small_config());
+  EXPECT_DOUBLE_EQ(result.blocks[0].measured_mean_edge_weight, 1.0);
+  EXPECT_GT(result.blocks[1].measured_mean_edge_weight, 1.0);
+}
+
+TEST(Table1Test, DeterministicPerSeed) {
+  const auto a = run_table1(small_config());
+  const auto b = run_table1(small_config());
+  EXPECT_DOUBLE_EQ(a.blocks[1].cells[4][0].wirelength_pct,
+                   b.blocks[1].cells[4][0].wirelength_pct);
+}
+
+TEST(Table1Test, RenderContainsAllAlgorithmRows) {
+  const auto result = run_table1(small_config());
+  const std::string text = render_table1(result);
+  for (const Algorithm a : table1_algorithms()) {
+    EXPECT_NE(text.find(algorithm_name(a)), std::string::npos);
+  }
+  EXPECT_NE(text.find("Congestion: none"), std::string::npos);
+}
+
+TEST(Table1Test, PaperValuesTableIsComplete) {
+  const auto& paper = table1_paper_values();
+  ASSERT_EQ(paper.size(), 3u);
+  for (const auto& level : paper) {
+    ASSERT_EQ(level.size(), 8u);
+    EXPECT_STREQ(level[0].algorithm, "KMB");
+    EXPECT_STREQ(level[7].algorithm, "IDOM");
+    // Arborescence rows report optimal pathlength in the paper.
+    for (int i = 4; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(level[static_cast<std::size_t>(i)].path5, 0.0);
+      EXPECT_DOUBLE_EQ(level[static_cast<std::size_t>(i)].path8, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,48 @@
+#include "fpga/switchbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+TEST(SwitchboxTest, DisjointPairsTrackToTrack) {
+  const auto pairs = switchbox_track_pairs(SwitchPattern::kDisjoint, 4);
+  ASSERT_EQ(pairs.size(), 4u);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(pairs[static_cast<std::size_t>(t)], std::make_pair(t, t));
+  }
+}
+
+TEST(SwitchboxTest, AugmentedAddsShiftedTrack) {
+  const auto pairs = switchbox_track_pairs(SwitchPattern::kAugmented, 3);
+  // (0,0) (0,1) (1,1) (1,2) (2,2) (2,0)
+  ASSERT_EQ(pairs.size(), 6u);
+  int straight = 0, shifted = 0;
+  for (const auto& [a, b] : pairs) {
+    if (a == b) ++straight;
+    if (b == (a + 1) % 3) ++shifted;
+  }
+  EXPECT_EQ(straight, 3);
+  EXPECT_EQ(shifted, 3 + 0);  // the (t, t+1) pairs; straight pairs don't match
+}
+
+TEST(SwitchboxTest, AugmentedWidthOneDegeneratesToDisjoint) {
+  const auto pairs = switchbox_track_pairs(SwitchPattern::kAugmented, 1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(0, 0));
+}
+
+TEST(SwitchboxTest, FlexibilityMatchesFsDefinition) {
+  // Fs counts, per incoming wire end, the outgoing wires it can reach across
+  // the three other sides: pattern pairs per side-pair times 3, divided by
+  // the W wires on the incoming side.
+  for (const int w : {2, 3, 5, 8}) {
+    const auto disjoint = switchbox_track_pairs(SwitchPattern::kDisjoint, w);
+    EXPECT_EQ(static_cast<int>(disjoint.size()) * 3 / w, 3) << "W=" << w;
+    const auto augmented = switchbox_track_pairs(SwitchPattern::kAugmented, w);
+    EXPECT_EQ(static_cast<int>(augmented.size()) * 3 / w, 6) << "W=" << w;
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,85 @@
+#include "graph/distance_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(DistanceGraphTest, WeightsAreShortestPathDistances) {
+  GridGraph grid(5, 5);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(4, 0), grid.node_at(0, 4)};
+  const DistanceGraph dg(net, oracle);
+  EXPECT_DOUBLE_EQ(dg.weight(0, 1), 4);
+  EXPECT_DOUBLE_EQ(dg.weight(0, 2), 4);
+  EXPECT_DOUBLE_EQ(dg.weight(1, 2), 8);
+  EXPECT_DOUBLE_EQ(dg.weight(1, 0), 4);  // symmetric
+  EXPECT_DOUBLE_EQ(dg.weight(0, 0), 0);
+  EXPECT_TRUE(dg.connected());
+}
+
+TEST(DistanceGraphTest, DisconnectedTerminalsDetected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  PathOracle oracle(g);
+  const std::vector<NodeId> net{0, 2};
+  const DistanceGraph dg(net, oracle);
+  EXPECT_FALSE(dg.connected());
+  EXPECT_FALSE(dg.prim_mst().complete);
+}
+
+TEST(DistanceGraphTest, PrimMstSimple) {
+  DistanceGraph dg(std::vector<NodeId>{10, 20, 30});
+  dg.set_weight(0, 1, 1);
+  dg.set_weight(1, 2, 2);
+  dg.set_weight(0, 2, 9);
+  const auto mst = dg.prim_mst();
+  ASSERT_TRUE(mst.complete);
+  EXPECT_DOUBLE_EQ(mst.cost, 3);
+  EXPECT_EQ(mst.edges.size(), 2u);
+}
+
+TEST(DistanceGraphTest, PrimMstSingleTerminal) {
+  DistanceGraph dg(std::vector<NodeId>{7});
+  const auto mst = dg.prim_mst();
+  EXPECT_TRUE(mst.complete);
+  EXPECT_TRUE(mst.edges.empty());
+  EXPECT_DOUBLE_EQ(mst.cost, 0);
+}
+
+TEST(DistanceGraphTest, PrimMatchesBruteForceOnSquare) {
+  DistanceGraph dg(std::vector<NodeId>{0, 1, 2, 3});
+  dg.set_weight(0, 1, 1);
+  dg.set_weight(1, 2, 1);
+  dg.set_weight(2, 3, 1);
+  dg.set_weight(0, 3, 1);
+  dg.set_weight(0, 2, 2);
+  dg.set_weight(1, 3, 2);
+  EXPECT_DOUBLE_EQ(dg.prim_mst().cost, 3);
+}
+
+TEST(DistanceGraphTest, ZeroedEdgeChangesMst) {
+  // ZEL's contraction zeroes triple edges; MST must pick them up.
+  DistanceGraph dg(std::vector<NodeId>{0, 1, 2});
+  dg.set_weight(0, 1, 4);
+  dg.set_weight(1, 2, 4);
+  dg.set_weight(0, 2, 4);
+  EXPECT_DOUBLE_EQ(dg.prim_mst().cost, 8);
+  dg.set_weight(0, 1, 0);
+  dg.set_weight(1, 2, 0);
+  EXPECT_DOUBLE_EQ(dg.prim_mst().cost, 0);
+}
+
+TEST(DistanceGraphTest, TerminalAccessors) {
+  const std::vector<NodeId> ids{5, 9, 2};
+  DistanceGraph dg(ids);
+  EXPECT_EQ(dg.size(), 3);
+  EXPECT_EQ(dg.terminal(1), 9);
+  EXPECT_EQ(dg.terminals().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,151 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+TEST(GraphTest, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(GraphTest, ConstructorCreatesActiveNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_TRUE(g.node_active(v));
+}
+
+TEST(GraphTest, AddNodesReturnsFirstNewId) {
+  Graph g(3);
+  EXPECT_EQ(g.add_nodes(2), 3);
+  EXPECT_EQ(g.node_count(), 5);
+}
+
+TEST(GraphTest, AddEdgeStoresEndpointsAndWeight) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 2, 4.5);
+  EXPECT_EQ(g.edge(e).u, 0);
+  EXPECT_EQ(g.edge(e).v, 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 4.5);
+  EXPECT_TRUE(g.edge_active(e));
+}
+
+TEST(GraphTest, OtherEndReturnsOppositeEndpoint) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1);
+  EXPECT_EQ(g.other_end(e, 0), 1);
+  EXPECT_EQ(g.other_end(e, 1), 0);
+}
+
+TEST(GraphTest, IncidentEdgesListsBothDirections) {
+  Graph g(3);
+  const EdgeId a = g.add_edge(0, 1, 1);
+  const EdgeId b = g.add_edge(1, 2, 1);
+  const auto inc = g.incident_edges(1);
+  ASSERT_EQ(inc.size(), 2u);
+  EXPECT_EQ(inc[0], a);
+  EXPECT_EQ(inc[1], b);
+  EXPECT_EQ(g.incident_edges(0).size(), 1u);
+}
+
+TEST(GraphTest, RemoveEdgeMakesItUnusable) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1);
+  g.remove_edge(e);
+  EXPECT_FALSE(g.edge_active(e));
+  EXPECT_FALSE(g.edge_usable(e));
+  g.restore_edge(e);
+  EXPECT_TRUE(g.edge_usable(e));
+}
+
+TEST(GraphTest, RemoveNodeMakesIncidentEdgesUnusable) {
+  Graph g(3);
+  const EdgeId e01 = g.add_edge(0, 1, 1);
+  const EdgeId e12 = g.add_edge(1, 2, 1);
+  g.remove_node(1);
+  EXPECT_FALSE(g.edge_usable(e01));
+  EXPECT_FALSE(g.edge_usable(e12));
+  EXPECT_TRUE(g.edge_active(e01));  // the edge itself was not touched
+  g.restore_node(1);
+  EXPECT_TRUE(g.edge_usable(e01));
+}
+
+TEST(GraphTest, WeightMutation) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 2.0);
+  g.set_edge_weight(e, 5.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 5.0);
+  g.add_edge_weight(e, 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(e), 6.5);
+}
+
+TEST(GraphTest, RevisionBumpsOnEveryMutation) {
+  Graph g(2);
+  const auto r0 = g.revision();
+  const EdgeId e = g.add_edge(0, 1, 1);
+  const auto r1 = g.revision();
+  EXPECT_GT(r1, r0);
+  g.set_edge_weight(e, 2);
+  EXPECT_GT(g.revision(), r1);
+  const auto r2 = g.revision();
+  g.remove_node(0);
+  EXPECT_GT(g.revision(), r2);
+}
+
+TEST(GraphTest, ActiveEdgeCountSkipsRemovedElements) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  const EdgeId e = g.add_edge(1, 2, 1);
+  EXPECT_EQ(g.active_edge_count(), 2);
+  g.remove_edge(e);
+  EXPECT_EQ(g.active_edge_count(), 1);
+  g.restore_edge(e);
+  g.remove_node(2);
+  EXPECT_EQ(g.active_edge_count(), 1);
+}
+
+TEST(GraphTest, MeanActiveEdgeWeight) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const EdgeId e = g.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(g.mean_active_edge_weight(), 2.0);
+  g.remove_edge(e);
+  EXPECT_DOUBLE_EQ(g.mean_active_edge_weight(), 1.0);
+}
+
+TEST(GraphTest, MeanActiveEdgeWeightEmptyGraphIsZero) {
+  Graph g(2);
+  EXPECT_DOUBLE_EQ(g.mean_active_edge_weight(), 0.0);
+}
+
+TEST(WeightCompareTest, ExactEquality) {
+  EXPECT_TRUE(weight_eq(1.0, 1.0));
+  EXPECT_TRUE(weight_eq(kInfiniteWeight, kInfiniteWeight));
+  EXPECT_FALSE(weight_eq(1.0, 2.0));
+}
+
+TEST(WeightCompareTest, ToleratesRoundoff) {
+  const Weight a = 0.1 + 0.2;
+  EXPECT_TRUE(weight_eq(a, 0.3));
+  EXPECT_FALSE(weight_lt(a, 0.3));
+  EXPECT_FALSE(weight_lt(0.3, a));
+  EXPECT_TRUE(weight_lt(0.3, 0.31));
+}
+
+TEST(WeightCompareTest, ScalesWithMagnitude) {
+  // Relative tolerance: at 1e12 the slack is ~1e3, so +1 matches, +1e4 not.
+  EXPECT_TRUE(weight_eq(1e12, 1e12 + 1.0));
+  EXPECT_FALSE(weight_eq(1e12, 1e12 + 1e4));
+}
+
+TEST(WeightCompareTest, InfinityNeverEqualsFinite) {
+  EXPECT_FALSE(weight_eq(2.0, kInfiniteWeight));
+  EXPECT_FALSE(weight_eq(kInfiniteWeight, 2.0));
+  EXPECT_TRUE(weight_lt(2.0, kInfiniteWeight));
+  EXPECT_FALSE(weight_lt(kInfiniteWeight, 2.0));
+}
+
+}  // namespace
+}  // namespace fpr

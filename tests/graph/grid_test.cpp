@@ -1,0 +1,61 @@
+#include "graph/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+TEST(GridTest, NodeAndEdgeCounts) {
+  GridGraph grid(20, 20);
+  EXPECT_EQ(grid.graph().node_count(), 400);
+  // 19*20 horizontal + 20*19 vertical.
+  EXPECT_EQ(grid.graph().edge_count(), 760);
+}
+
+TEST(GridTest, CoordinateRoundTrip) {
+  GridGraph grid(7, 5);
+  for (int x = 0; x < 7; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      const auto [cx, cy] = grid.coord(grid.node_at(x, y));
+      EXPECT_EQ(cx, x);
+      EXPECT_EQ(cy, y);
+    }
+  }
+}
+
+TEST(GridTest, HorizontalEdgeConnectsNeighbors) {
+  GridGraph grid(4, 3);
+  const EdgeId e = grid.horizontal_edge(1, 2);
+  const auto& ed = grid.graph().edge(e);
+  EXPECT_EQ(std::minmax(ed.u, ed.v), std::minmax(grid.node_at(1, 2), grid.node_at(2, 2)));
+}
+
+TEST(GridTest, VerticalEdgeConnectsNeighbors) {
+  GridGraph grid(4, 3);
+  const EdgeId e = grid.vertical_edge(3, 1);
+  const auto& ed = grid.graph().edge(e);
+  EXPECT_EQ(std::minmax(ed.u, ed.v), std::minmax(grid.node_at(3, 1), grid.node_at(3, 2)));
+}
+
+TEST(GridTest, DefaultWeightIsOne) {
+  GridGraph grid(3, 3);
+  for (EdgeId e = 0; e < grid.graph().edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(grid.graph().edge_weight(e), 1.0);
+  }
+}
+
+TEST(GridTest, CustomWeight) {
+  GridGraph grid(2, 2, 2.5);
+  for (EdgeId e = 0; e < grid.graph().edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(grid.graph().edge_weight(e), 2.5);
+  }
+}
+
+TEST(GridTest, DegeneratePath) {
+  GridGraph grid(5, 1);
+  EXPECT_EQ(grid.graph().node_count(), 5);
+  EXPECT_EQ(grid.graph().edge_count(), 4);
+}
+
+}  // namespace
+}  // namespace fpr

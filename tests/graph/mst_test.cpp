@@ -1,0 +1,110 @@
+#include "graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(MstTest, TriangleKeepsTwoLightestEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  const EdgeId heavy = g.add_edge(0, 2, 5);
+  const auto mst = kruskal_mst(g);
+  ASSERT_EQ(mst.size(), 2u);
+  EXPECT_EQ(std::count(mst.begin(), mst.end(), heavy), 0);
+  EXPECT_DOUBLE_EQ(edge_set_cost(g, mst), 3);
+}
+
+TEST(MstTest, SkipsInactiveEdges) {
+  Graph g(3);
+  const EdgeId cheap = g.add_edge(0, 1, 1);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 2);
+  g.remove_edge(cheap);
+  const auto mst = kruskal_mst(g);
+  EXPECT_DOUBLE_EQ(edge_set_cost(g, mst), 5);
+}
+
+TEST(MstTest, DisconnectedGraphYieldsForest) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.size(), 2u);
+}
+
+TEST(MstTest, SubgraphRestrictsEdgePool) {
+  Graph g(3);
+  const EdgeId a = g.add_edge(0, 1, 5);
+  const EdgeId b = g.add_edge(1, 2, 5);
+  g.add_edge(0, 2, 1);  // cheapest, but not offered
+  const std::vector<EdgeId> pool{a, b, a};
+  const auto mst = kruskal_mst_subgraph(g, pool);
+  ASSERT_EQ(mst.size(), 2u);
+  EXPECT_DOUBLE_EQ(edge_set_cost(g, mst), 10);
+}
+
+TEST(MstTest, EmptyPool) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  EXPECT_TRUE(kruskal_mst_subgraph(g, {}).empty());
+}
+
+TEST(MstTest, DeterministicTieBreakByEdgeId) {
+  Graph g(3);
+  const EdgeId first = g.add_edge(0, 1, 1);
+  g.add_edge(0, 1, 1);  // parallel duplicate, same weight
+  const EdgeId c = g.add_edge(1, 2, 1);
+  const auto mst = kruskal_mst(g);
+  ASSERT_EQ(mst.size(), 2u);
+  EXPECT_TRUE(std::count(mst.begin(), mst.end(), first) == 1);
+  EXPECT_TRUE(std::count(mst.begin(), mst.end(), c) == 1);
+}
+
+// Property: MST cost matches a naive reference (all spanning trees not
+// enumerable, but Kruskal-vs-Prim style cross-check: cost of MST is
+// invariant under implementation).
+class MstPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MstPropertyTest, SpansAndIsAcyclic) {
+  const auto g = testing::random_connected_graph(30, 60, GetParam());
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst.size(), 29u);  // connected: n-1 edges
+  UnionFind uf(g.node_count());
+  for (const EdgeId e : mst) {
+    EXPECT_TRUE(uf.unite(g.edge(e).u, g.edge(e).v)) << "cycle in MST";
+  }
+  EXPECT_EQ(uf.component_count(), 1);
+}
+
+TEST_P(MstPropertyTest, CutProperty) {
+  // For every MST edge, removing it splits the tree; the edge must be a
+  // minimum-weight crossing edge of that cut.
+  const auto g = testing::random_connected_graph(20, 40, GetParam());
+  const auto mst = kruskal_mst(g);
+  for (const EdgeId drop : mst) {
+    UnionFind uf(g.node_count());
+    for (const EdgeId e : mst) {
+      if (e != drop) uf.unite(g.edge(e).u, g.edge(e).v);
+    }
+    Weight best_crossing = kInfiniteWeight;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (!uf.same(g.edge(e).u, g.edge(e).v)) {
+        best_crossing = std::min(best_crossing, g.edge_weight(e));
+      }
+    }
+    EXPECT_DOUBLE_EQ(g.edge_weight(drop), best_crossing);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstPropertyTest, ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,64 @@
+#include "graph/path_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(PathOracleTest, CachesSsspTrees) {
+  GridGraph grid(4, 4);
+  PathOracle oracle(grid.graph());
+  EXPECT_EQ(oracle.dijkstra_runs(), 0u);
+  oracle.from(0);
+  oracle.from(0);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+  oracle.from(5);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+}
+
+TEST(PathOracleTest, DistanceUsesEitherEndpointCache) {
+  GridGraph grid(4, 4);
+  PathOracle oracle(grid.graph());
+  oracle.from(grid.node_at(3, 3));
+  // Distance (0,0)->(3,3) should be served from the cached reverse tree.
+  EXPECT_DOUBLE_EQ(oracle.distance(grid.node_at(0, 0), grid.node_at(3, 3)), 6);
+  EXPECT_EQ(oracle.dijkstra_runs(), 1u);
+}
+
+TEST(PathOracleTest, CachedReturnsNullBeforeCompute) {
+  GridGraph grid(3, 3);
+  PathOracle oracle(grid.graph());
+  EXPECT_EQ(oracle.cached(0), nullptr);
+  oracle.from(0);
+  EXPECT_NE(oracle.cached(0), nullptr);
+}
+
+TEST(PathOracleTest, InvalidatesOnGraphMutation) {
+  GridGraph grid(4, 1);
+  PathOracle oracle(grid.graph());
+  EXPECT_DOUBLE_EQ(oracle.distance(grid.node_at(0, 0), grid.node_at(3, 0)), 3);
+  grid.graph().set_edge_weight(grid.horizontal_edge(1, 0), 5);
+  EXPECT_DOUBLE_EQ(oracle.distance(grid.node_at(0, 0), grid.node_at(3, 0)), 7);
+}
+
+TEST(PathOracleTest, InvalidatesOnNodeRemoval) {
+  GridGraph grid(3, 3);
+  PathOracle oracle(grid.graph());
+  EXPECT_DOUBLE_EQ(oracle.distance(grid.node_at(0, 0), grid.node_at(2, 0)), 2);
+  grid.graph().remove_node(grid.node_at(1, 0));
+  EXPECT_DOUBLE_EQ(oracle.distance(grid.node_at(0, 0), grid.node_at(2, 0)), 4);
+}
+
+TEST(PathOracleTest, ClearResetsRunCounter) {
+  GridGraph grid(3, 3);
+  PathOracle oracle(grid.graph());
+  oracle.from(0);
+  oracle.clear();
+  EXPECT_EQ(oracle.dijkstra_runs(), 0u);
+  EXPECT_EQ(oracle.cached(0), nullptr);
+}
+
+}  // namespace
+}  // namespace fpr

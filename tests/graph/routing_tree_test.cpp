@@ -1,0 +1,138 @@
+#include "graph/routing_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+
+namespace fpr {
+namespace {
+
+class RoutingTreeTest : public ::testing::Test {
+ protected:
+  RoutingTreeTest() : grid_(4, 4) {}
+  GridGraph grid_;
+};
+
+TEST_F(RoutingTreeTest, EmptyTree) {
+  RoutingTree t(grid_.graph(), {});
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_DOUBLE_EQ(t.cost(), 0);
+  const std::vector<NodeId> one{grid_.node_at(0, 0)};
+  EXPECT_TRUE(t.spans(one));  // single-terminal nets need no wiring
+  const std::vector<NodeId> two{grid_.node_at(0, 0), grid_.node_at(1, 1)};
+  EXPECT_FALSE(t.spans(two));
+}
+
+TEST_F(RoutingTreeTest, DedupesEdges) {
+  const EdgeId e = grid_.horizontal_edge(0, 0);
+  RoutingTree t(grid_.graph(), {e, e, e});
+  EXPECT_EQ(t.edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.cost(), 1);
+}
+
+TEST_F(RoutingTreeTest, PathCostAlongL) {
+  // Route (0,0) -> (2,0) -> (2,2).
+  const std::vector<EdgeId> edges{
+      grid_.horizontal_edge(0, 0), grid_.horizontal_edge(1, 0),
+      grid_.vertical_edge(2, 0),   grid_.vertical_edge(2, 1),
+  };
+  RoutingTree t(grid_.graph(), edges);
+  EXPECT_TRUE(t.is_tree());
+  EXPECT_DOUBLE_EQ(t.cost(), 4);
+  EXPECT_DOUBLE_EQ(t.path_length(grid_.node_at(0, 0), grid_.node_at(2, 2)), 4);
+  EXPECT_DOUBLE_EQ(t.path_length(grid_.node_at(2, 0), grid_.node_at(2, 2)), 2);
+  EXPECT_DOUBLE_EQ(t.path_length(grid_.node_at(0, 0), grid_.node_at(0, 0)), 0);
+}
+
+TEST_F(RoutingTreeTest, CycleIsNotATree) {
+  const std::vector<EdgeId> edges{
+      grid_.horizontal_edge(0, 0), grid_.vertical_edge(1, 0),
+      grid_.horizontal_edge(0, 1), grid_.vertical_edge(0, 0),
+  };
+  RoutingTree t(grid_.graph(), edges);
+  EXPECT_FALSE(t.is_tree());
+}
+
+TEST_F(RoutingTreeTest, DisconnectedForestIsNotATree) {
+  const std::vector<EdgeId> edges{grid_.horizontal_edge(0, 0), grid_.horizontal_edge(2, 3)};
+  RoutingTree t(grid_.graph(), edges);
+  EXPECT_FALSE(t.is_tree());
+}
+
+TEST_F(RoutingTreeTest, SpansChecksConnectivityNotJustPresence) {
+  const std::vector<EdgeId> edges{grid_.horizontal_edge(0, 0), grid_.horizontal_edge(2, 3)};
+  RoutingTree t(grid_.graph(), edges);
+  const std::vector<NodeId> terminals{grid_.node_at(0, 0), grid_.node_at(2, 3)};
+  EXPECT_FALSE(t.spans(terminals));  // both touched, not connected
+}
+
+TEST_F(RoutingTreeTest, MaxPathLength) {
+  // Star from (1,1) to three neighbors.
+  const std::vector<EdgeId> edges{
+      grid_.horizontal_edge(0, 1),  // (0,1)-(1,1)
+      grid_.horizontal_edge(1, 1),  // (1,1)-(2,1)
+      grid_.vertical_edge(1, 1),    // (1,1)-(1,2)
+      grid_.vertical_edge(1, 2),    // (1,2)-(1,3)
+  };
+  RoutingTree t(grid_.graph(), edges);
+  const NodeId src = grid_.node_at(1, 1);
+  const std::vector<NodeId> sinks{grid_.node_at(0, 1), grid_.node_at(2, 1), grid_.node_at(1, 3)};
+  EXPECT_DOUBLE_EQ(t.max_path_length(src, sinks), 2);
+}
+
+TEST_F(RoutingTreeTest, MaxPathLengthUnreachedSinkIsInfinite) {
+  RoutingTree t(grid_.graph(), {grid_.horizontal_edge(0, 0)});
+  const std::vector<NodeId> sinks{grid_.node_at(3, 3)};
+  EXPECT_EQ(t.max_path_length(grid_.node_at(0, 0), sinks), kInfiniteWeight);
+}
+
+TEST_F(RoutingTreeTest, PruneLeavesRemovesDanglingBranch) {
+  // Path (0,0)-(1,0)-(2,0) plus dangling branch (1,0)-(1,1)-(1,2).
+  const std::vector<EdgeId> edges{
+      grid_.horizontal_edge(0, 0), grid_.horizontal_edge(1, 0),
+      grid_.vertical_edge(1, 0),   grid_.vertical_edge(1, 1),
+  };
+  RoutingTree t(grid_.graph(), edges);
+  const std::vector<NodeId> keep{grid_.node_at(0, 0), grid_.node_at(2, 0)};
+  t.prune_leaves(keep);
+  EXPECT_EQ(t.edges().size(), 2u);
+  EXPECT_TRUE(t.spans(keep));
+  EXPECT_FALSE(t.contains_node(grid_.node_at(1, 2)));
+  EXPECT_FALSE(t.contains_node(grid_.node_at(1, 1)));
+}
+
+TEST_F(RoutingTreeTest, PruneKeepsInteriorSteinerNodes) {
+  // Star centered at (1,1); the center is not in keep but has degree 3.
+  const std::vector<EdgeId> edges{
+      grid_.horizontal_edge(0, 1),
+      grid_.horizontal_edge(1, 1),
+      grid_.vertical_edge(1, 1),
+  };
+  RoutingTree t(grid_.graph(), edges);
+  const std::vector<NodeId> keep{grid_.node_at(0, 1), grid_.node_at(2, 1), grid_.node_at(1, 2)};
+  t.prune_leaves(keep);
+  EXPECT_EQ(t.edges().size(), 3u);
+  EXPECT_TRUE(t.contains_node(grid_.node_at(1, 1)));
+}
+
+TEST_F(RoutingTreeTest, PruneCascades) {
+  // Chain (0,0)-(1,0)-(2,0)-(3,0); keep only (0,0): everything prunes away.
+  const std::vector<EdgeId> edges{
+      grid_.horizontal_edge(0, 0), grid_.horizontal_edge(1, 0), grid_.horizontal_edge(2, 0)};
+  RoutingTree t(grid_.graph(), edges);
+  const std::vector<NodeId> keep{grid_.node_at(0, 0)};
+  t.prune_leaves(keep);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST_F(RoutingTreeTest, NodesSortedAndUnique) {
+  const std::vector<EdgeId> edges{grid_.horizontal_edge(0, 0), grid_.vertical_edge(1, 0)};
+  RoutingTree t(grid_.graph(), edges);
+  const auto nodes = t.nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,65 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace fpr {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.component_count(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFindTest, UniteMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_EQ(uf.component_count(), 3);
+}
+
+TEST(UnionFindTest, TransitiveUnions) {
+  UnionFind uf(5);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_FALSE(uf.same(2, 3));
+  EXPECT_EQ(uf.component_count(), 2);
+  uf.unite(2, 3);
+  EXPECT_TRUE(uf.same(0, 4));
+  EXPECT_EQ(uf.component_count(), 1);
+}
+
+TEST(UnionFindTest, RandomizedMatchesNaiveLabels) {
+  std::mt19937_64 rng(7);
+  const int n = 64;
+  UnionFind uf(n);
+  std::vector<int> label(static_cast<std::size_t>(n));
+  std::iota(label.begin(), label.end(), 0);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  for (int step = 0; step < 200; ++step) {
+    const int a = pick(rng);
+    const int b = pick(rng);
+    uf.unite(a, b);
+    const int la = label[static_cast<std::size_t>(a)];
+    const int lb = label[static_cast<std::size_t>(b)];
+    if (la != lb) {
+      for (auto& l : label) {
+        if (l == lb) l = la;
+      }
+    }
+    const int x = pick(rng);
+    const int y = pick(rng);
+    EXPECT_EQ(uf.same(x, y),
+              label[static_cast<std::size_t>(x)] == label[static_cast<std::size_t>(y)]);
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,88 @@
+// End-to-end integration: the full pipeline profile -> synthesize -> save ->
+// load -> device -> route, plus determinism guarantees across the stack.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiments/tables23.hpp"
+#include "io/text_io.hpp"
+#include "netlist/synth.hpp"
+#include "router/router.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(EndToEndTest, RoutingIsDeterministic) {
+  const Circuit circuit = synthesize_circuit(xc4000_profiles()[2], 77);
+  const ArchSpec arch = ArchSpec::xc4000(circuit.rows, circuit.cols, 8);
+  Device a(arch), b(arch);
+  const RoutingResult ra = route_circuit(a, circuit, RouterOptions{});
+  const RoutingResult rb = route_circuit(b, circuit, RouterOptions{});
+  ASSERT_EQ(ra.success, rb.success);
+  ASSERT_EQ(ra.nets.size(), rb.nets.size());
+  for (std::size_t i = 0; i < ra.nets.size(); ++i) {
+    EXPECT_EQ(ra.nets[i].edges, rb.nets[i].edges) << "net " << i;
+  }
+  EXPECT_DOUBLE_EQ(ra.total_wirelength, rb.total_wirelength);
+}
+
+TEST(EndToEndTest, SavedCircuitRoutesIdentically) {
+  const Circuit original = synthesize_circuit(xc4000_profiles()[7], 13);
+  std::stringstream buffer;
+  write_circuit(buffer, original);
+  const auto loaded = read_circuit(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  const ArchSpec arch = ArchSpec::xc4000(original.rows, original.cols, 9);
+  Device a(arch), b(arch);
+  const RoutingResult ra = route_circuit(a, original, RouterOptions{});
+  const RoutingResult rb = route_circuit(b, *loaded, RouterOptions{});
+  ASSERT_EQ(ra.success, rb.success);
+  EXPECT_EQ(ra.total_wire_nodes, rb.total_wire_nodes);
+  EXPECT_DOUBLE_EQ(ra.total_wirelength, rb.total_wirelength);
+}
+
+TEST(EndToEndTest, DeviceIsReusableAcrossRuns) {
+  // route_circuit resets the device per pass; back-to-back runs on ONE
+  // device must match runs on fresh devices.
+  const Circuit circuit = synthesize_circuit(xc4000_profiles()[7], 21);
+  const ArchSpec arch = ArchSpec::xc4000(circuit.rows, circuit.cols, 9);
+  Device shared(arch);
+  const RoutingResult first = route_circuit(shared, circuit, RouterOptions{});
+  const RoutingResult second = route_circuit(shared, circuit, RouterOptions{});
+  ASSERT_EQ(first.success, second.success);
+  EXPECT_DOUBLE_EQ(first.total_wirelength, second.total_wirelength);
+}
+
+TEST(EndToEndTest, WidthExperimentDeterministic) {
+  CircuitProfile profile;
+  profile.name = "det";
+  profile.rows = profile.cols = 5;
+  profile.nets_2_3 = 12;
+  profile.nets_4_10 = 3;
+  WidthExperimentOptions options;
+  options.seed = 3;
+  options.max_passes = 5;
+  options.max_width = 10;
+  options.run_baseline = false;
+  const std::vector<CircuitProfile> profiles{profile};
+  const auto a = run_width_experiment(profiles, ArchFamily::kXc4000, options);
+  const auto b = run_width_experiment(profiles, ArchFamily::kXc4000, options);
+  EXPECT_EQ(a.rows[0].ours, b.rows[0].ours);
+}
+
+TEST(EndToEndTest, AllAlgorithmsCompleteTheSameCircuit) {
+  const Circuit circuit = synthesize_circuit(xc4000_profiles()[7], 31);
+  for (const Algorithm algo : {Algorithm::kKmb, Algorithm::kIkmb, Algorithm::kDjka,
+                               Algorithm::kDom, Algorithm::kPfa, Algorithm::kIdom}) {
+    Device device(ArchSpec::xc4000(circuit.rows, circuit.cols, 12));
+    RouterOptions options;
+    options.algorithm = algo;
+    const RoutingResult r = route_circuit(device, circuit, options);
+    EXPECT_TRUE(r.success) << algorithm_name(algo);
+  }
+}
+
+}  // namespace
+}  // namespace fpr

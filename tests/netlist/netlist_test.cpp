@@ -1,0 +1,55 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+Circuit tiny_circuit() {
+  Circuit c;
+  c.name = "tiny";
+  c.rows = 4;
+  c.cols = 4;
+  c.nets.push_back({{0, 0}, {{1, 1}, {2, 2}}});                        // 3 pins
+  c.nets.push_back({{3, 3}, {{0, 3}}});                                // 2 pins
+  c.nets.push_back({{1, 0}, {{2, 0}, {3, 0}, {0, 1}, {1, 2}}});        // 5 pins
+  return c;
+}
+
+TEST(NetlistTest, HistogramBuckets) {
+  Circuit c = tiny_circuit();
+  for (int i = 0; i < 11; ++i) c.nets[2].sinks.push_back({i % 4, i / 4});
+  const auto h = c.histogram();
+  EXPECT_EQ(h.pins_2_3, 2);
+  EXPECT_EQ(h.pins_4_10, 0);
+  EXPECT_EQ(h.pins_over_10, 1);
+}
+
+TEST(NetlistTest, WellFormedChecks) {
+  Circuit c = tiny_circuit();
+  EXPECT_TRUE(c.well_formed());
+  c.nets.push_back({{0, 0}, {}});  // no sinks
+  EXPECT_FALSE(c.well_formed());
+  c.nets.pop_back();
+  c.nets.push_back({{4, 0}, {{0, 0}}});  // source off array
+  EXPECT_FALSE(c.well_formed());
+}
+
+TEST(NetlistTest, ToGraphNetMapsBlocks) {
+  const Device device(ArchSpec::xc4000(4, 4, 2));
+  const CircuitNet net{{0, 0}, {{1, 1}, {2, 2}}};
+  const Net g = to_graph_net(device, net);
+  EXPECT_EQ(g.source, device.block_node(0, 0));
+  ASSERT_EQ(g.sinks.size(), 2u);
+  EXPECT_EQ(g.sinks[0], device.block_node(1, 1));
+}
+
+TEST(NetlistTest, ToGraphNetDedupesAndDropsSelfSinks) {
+  const Device device(ArchSpec::xc4000(4, 4, 2));
+  const CircuitNet net{{0, 0}, {{1, 1}, {1, 1}, {0, 0}}};
+  const Net g = to_graph_net(device, net);
+  EXPECT_EQ(g.sinks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,75 @@
+#include "netlist/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+TEST(ProfilesTest, Xc3000MatchesTable2) {
+  const auto& profiles = xc3000_profiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  // Table 2 totals: 1744 nets = 1268 + 352 + 124; CGE 55, ours 45.
+  int nets = 0, n23 = 0, n410 = 0, nover = 0, cge = 0, ours = 0;
+  for (const auto& p : profiles) {
+    nets += p.total_nets();
+    n23 += p.nets_2_3;
+    n410 += p.nets_4_10;
+    nover += p.nets_over_10;
+    cge += p.paper_cge;
+    ours += p.paper_ikmb;
+  }
+  EXPECT_EQ(nets, 1744);
+  EXPECT_EQ(n23, 1268);
+  EXPECT_EQ(n410, 352);
+  EXPECT_EQ(nover, 124);
+  EXPECT_EQ(cge, 55);
+  EXPECT_EQ(ours, 45);
+
+  EXPECT_EQ(profiles[0].name, "busc");
+  EXPECT_EQ(profiles[0].rows, 12);
+  EXPECT_EQ(profiles[0].cols, 13);
+  EXPECT_EQ(profiles[4].name, "z03");
+  EXPECT_EQ(profiles[4].total_nets(), 608);
+}
+
+TEST(ProfilesTest, Xc4000MatchesTable3) {
+  const auto& profiles = xc4000_profiles();
+  ASSERT_EQ(profiles.size(), 9u);
+  // Table 3 totals: 1710 nets = 1154 + 454 + 102; SEGA 118, GBP 110, ours 94.
+  int nets = 0, n23 = 0, n410 = 0, nover = 0, sega = 0, gbp = 0, ours = 0;
+  for (const auto& p : profiles) {
+    nets += p.total_nets();
+    n23 += p.nets_2_3;
+    n410 += p.nets_4_10;
+    nover += p.nets_over_10;
+    sega += p.paper_sega;
+    gbp += p.paper_gbp;
+    ours += p.paper_ikmb;
+  }
+  EXPECT_EQ(nets, 1710);
+  EXPECT_EQ(n23, 1154);
+  EXPECT_EQ(n410, 454);
+  EXPECT_EQ(nover, 102);
+  EXPECT_EQ(sega, 118);
+  EXPECT_EQ(gbp, 110);
+  EXPECT_EQ(ours, 94);
+}
+
+TEST(ProfilesTest, Table4WidthsMatchPaper) {
+  // Table 4 totals: IKMB 94, PFA 110, IDOM 106.
+  int ikmb = 0, pfa = 0, idom = 0;
+  for (const auto& p : xc4000_profiles()) {
+    ikmb += p.paper_ikmb;
+    pfa += p.paper_pfa;
+    idom += p.paper_idom;
+    // Table 5's fixed width accommodates all three algorithms.
+    EXPECT_GE(p.paper_table5_width, p.paper_ikmb);
+    EXPECT_GE(p.paper_table5_width, std::max(p.paper_pfa, p.paper_idom) - 1);
+  }
+  EXPECT_EQ(ikmb, 94);
+  EXPECT_EQ(pfa, 110);
+  EXPECT_EQ(idom, 106);
+}
+
+}  // namespace
+}  // namespace fpr

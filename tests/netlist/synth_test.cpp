@@ -1,0 +1,92 @@
+#include "netlist/synth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fpr {
+namespace {
+
+TEST(SynthTest, RealizesExactProfile) {
+  for (const auto& profile : xc4000_profiles()) {
+    const Circuit c = synthesize_circuit(profile, 42);
+    EXPECT_EQ(c.rows, profile.rows);
+    EXPECT_EQ(c.cols, profile.cols);
+    EXPECT_EQ(static_cast<int>(c.nets.size()), profile.total_nets());
+    const auto h = c.histogram();
+    EXPECT_EQ(h.pins_2_3, profile.nets_2_3) << profile.name;
+    EXPECT_EQ(h.pins_4_10, profile.nets_4_10) << profile.name;
+    EXPECT_EQ(h.pins_over_10, profile.nets_over_10) << profile.name;
+    EXPECT_TRUE(c.well_formed()) << profile.name;
+  }
+}
+
+TEST(SynthTest, DeterministicPerSeed) {
+  const auto& profile = xc4000_profiles()[2];
+  const Circuit a = synthesize_circuit(profile, 7);
+  const Circuit b = synthesize_circuit(profile, 7);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].source, b.nets[i].source);
+    EXPECT_EQ(a.nets[i].sinks, b.nets[i].sinks);
+  }
+}
+
+TEST(SynthTest, DifferentSeedsDiffer) {
+  const auto& profile = xc4000_profiles()[2];
+  const Circuit a = synthesize_circuit(profile, 7);
+  const Circuit b = synthesize_circuit(profile, 8);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.nets.size() && !any_difference; ++i) {
+    any_difference = !(a.nets[i].source == b.nets[i].source);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SynthTest, PinsOfANetAreDistinctBlocks) {
+  const Circuit c = synthesize_circuit(xc4000_profiles()[0], 11);
+  for (const auto& net : c.nets) {
+    std::vector<PinRef> pins{net.source};
+    pins.insert(pins.end(), net.sinks.begin(), net.sinks.end());
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      for (std::size_t j = i + 1; j < pins.size(); ++j) {
+        EXPECT_FALSE(pins[i] == pins[j]);
+      }
+    }
+  }
+}
+
+TEST(SynthTest, LocalityKeepsNetsClustered) {
+  // With the default locality, the mean net bounding-box semi-perimeter
+  // should be well under a uniform placement's.
+  const auto& profile = xc4000_profiles()[5];  // k2, 22x20
+  const Circuit local = synthesize_circuit(profile, 3);
+  SynthOptions uniform;
+  uniform.locality_sigma = 10.0;  // effectively uniform
+  const Circuit spread = synthesize_circuit(profile, 3, uniform);
+
+  const auto mean_span = [](const Circuit& c) {
+    double total = 0;
+    for (const auto& net : c.nets) {
+      int min_x = net.source.x, max_x = net.source.x;
+      int min_y = net.source.y, max_y = net.source.y;
+      for (const auto& p : net.sinks) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+      }
+      total += (max_x - min_x) + (max_y - min_y);
+    }
+    return total / static_cast<double>(c.nets.size());
+  };
+  EXPECT_LT(mean_span(local), 0.7 * mean_span(spread));
+}
+
+TEST(SynthTest, BigNetsComeFirst) {
+  const Circuit c = synthesize_circuit(xc4000_profiles()[0], 5);
+  for (std::size_t i = 1; i < c.nets.size(); ++i) {
+    EXPECT_GE(c.nets[i - 1].pin_count(), c.nets[i].pin_count());
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,87 @@
+// Mixed critical/non-critical routing (Section 2): arborescences for the
+// timing-critical nets, wirelength-minimal Steiner trees for the rest, in
+// one router run.
+
+#include <gtest/gtest.h>
+
+#include "io/text_io.hpp"
+#include "netlist/synth.hpp"
+#include "router/router.hpp"
+
+#include <sstream>
+
+namespace fpr {
+namespace {
+
+TEST(MixedRoutingTest, SynthMarksLargestFanoutsCritical) {
+  SynthOptions options;
+  options.critical_fraction = 0.2;
+  const Circuit c = synthesize_circuit(xc4000_profiles()[2], 3, options);
+  int critical = 0;
+  int max_noncritical_pins = 0, min_critical_pins = 1 << 20;
+  for (const auto& net : c.nets) {
+    if (net.critical) {
+      ++critical;
+      min_critical_pins = std::min(min_critical_pins, net.pin_count());
+    } else {
+      max_noncritical_pins = std::max(max_noncritical_pins, net.pin_count());
+    }
+  }
+  EXPECT_EQ(critical, static_cast<int>(0.2 * c.nets.size()));
+  // Big-first marking: every critical net at least as big as any other.
+  EXPECT_GE(min_critical_pins, max_noncritical_pins);
+}
+
+TEST(MixedRoutingTest, CriticalNetsGetOptimalPathlengths) {
+  SynthOptions synth;
+  synth.critical_fraction = 0.25;
+  const Circuit c = synthesize_circuit(xc4000_profiles()[2], 5, synth);
+  Device device(ArchSpec::xc4000(c.rows, c.cols, 10));
+  RouterOptions options;  // IKMB for plain nets, IDOM for critical ones
+  const RoutingResult r = route_circuit(device, c, options);
+  ASSERT_TRUE(r.success);
+  int checked = 0;
+  for (std::size_t i = 0; i < c.nets.size(); ++i) {
+    if (!c.nets[i].critical || !r.nets[i].routed) continue;
+    EXPECT_TRUE(weight_eq(r.nets[i].max_pathlength, r.nets[i].optimal_max_pathlength))
+        << "critical net " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(MixedRoutingTest, MixedUsesLessWireThanAllCritical) {
+  SynthOptions synth;
+  synth.critical_fraction = 0.25;
+  const Circuit c = synthesize_circuit(xc4000_profiles()[2], 5, synth);
+  const ArchSpec arch = ArchSpec::xc4000(c.rows, c.cols, 10);
+
+  Device mixed_device(arch);
+  const RoutingResult mixed = route_circuit(mixed_device, c, RouterOptions{});
+
+  RouterOptions all_critical;
+  all_critical.algorithm = Algorithm::kIdom;  // arborescences for everything
+  Device arb_device(arch);
+  const RoutingResult arbs = route_circuit(arb_device, c, all_critical);
+
+  ASSERT_TRUE(mixed.success);
+  ASSERT_TRUE(arbs.success);
+  EXPECT_LE(mixed.total_physical_wirelength, arbs.total_physical_wirelength);
+}
+
+TEST(MixedRoutingTest, CriticalityRoundTripsThroughTextIo) {
+  SynthOptions synth;
+  synth.critical_fraction = 0.3;
+  const Circuit original = synthesize_circuit(xc4000_profiles()[7], 9, synth);
+  std::stringstream buffer;
+  write_circuit(buffer, original);
+  const auto back = read_circuit(buffer);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->nets.size(), original.nets.size());
+  for (std::size_t i = 0; i < original.nets.size(); ++i) {
+    EXPECT_EQ(back->nets[i].critical, original.nets[i].critical) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,81 @@
+#include "router/width_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiments/tables23.hpp"
+#include "netlist/synth.hpp"
+
+namespace fpr {
+namespace {
+
+Circuit crossing_circuit(int lanes) {
+  Circuit c;
+  c.rows = c.cols = 4;
+  for (int i = 0; i < lanes; ++i) {
+    c.nets.push_back({{0, i % 4}, {{3, (i + 1) % 4}}});
+  }
+  return c;
+}
+
+TEST(WidthSearchTest, FindsMinimalWidth) {
+  const ArchSpec base = ArchSpec::xc4000(4, 4, 1);
+  RouterOptions router;
+  router.max_passes = 6;
+  WidthSearchOptions search;
+  search.max_width = 8;
+  const auto result = find_min_channel_width(base, crossing_circuit(6), router, search);
+  ASSERT_GT(result.min_width, 0);
+  EXPECT_TRUE(result.at_min_width.success);
+
+  // Verify minimality: one narrower must fail.
+  if (result.min_width > search.min_width) {
+    Device device(base.with_width(result.min_width - 1));
+    EXPECT_FALSE(route_circuit(device, crossing_circuit(6), router).success);
+  }
+}
+
+TEST(WidthSearchTest, UnroutableInRangeReturnsMinusOne) {
+  // Five nets out of one block exceed the four adjacent wires of W=1;
+  // cap the search at W=1 so no feasible width is in range.
+  Circuit c;
+  c.rows = c.cols = 2;
+  for (int i = 0; i < 5; ++i) c.nets.push_back({{0, 0}, {{1, 1}}});
+  RouterOptions router;
+  router.max_passes = 3;
+  WidthSearchOptions search;
+  search.min_width = 1;
+  search.max_width = 1;
+  const auto result =
+      find_min_channel_width(ArchSpec::xc4000(2, 2, 1), c, router, search);
+  EXPECT_EQ(result.min_width, -1);
+}
+
+TEST(WidthSearchTest, AttemptTraceIsBinarySearchSized) {
+  const ArchSpec base = ArchSpec::xc4000(4, 4, 1);
+  RouterOptions router;
+  router.max_passes = 4;
+  WidthSearchOptions search;
+  search.max_width = 16;
+  const auto result = find_min_channel_width(base, crossing_circuit(4), router, search);
+  ASSERT_GT(result.min_width, 0);
+  // log2(16) + 1 probes at most, plus the initial max-width check.
+  EXPECT_LE(result.attempts.size(), 6u);
+}
+
+TEST(WidthSearchTest, MonotoneOnSyntheticCircuit) {
+  // The minimum width found must route, and every wider device must too.
+  const auto& profile = xc4000_profiles()[2];  // term1
+  const Circuit c = synthesize_circuit(profile, 21);
+  RouterOptions router;
+  router.max_passes = 5;
+  WidthSearchOptions search;
+  search.max_width = 16;
+  const auto result =
+      find_min_channel_width(arch_for(profile, ArchFamily::kXc4000), c, router, search);
+  ASSERT_GT(result.min_width, 0);
+  Device wider(arch_for(profile, ArchFamily::kXc4000).with_width(result.min_width + 2));
+  EXPECT_TRUE(route_circuit(wider, c, router).success);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,80 @@
+#include "steiner/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/grid.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(CandidatesTest, AllNodesExcludesTerminals) {
+  GridGraph grid(4, 4);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> terminals{0, 5, 10};
+  const auto c =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kAllNodes);
+  EXPECT_EQ(c.size(), 13u);
+  for (const NodeId t : terminals) {
+    EXPECT_EQ(std::find(c.begin(), c.end(), t), c.end());
+  }
+}
+
+TEST(CandidatesTest, AllNodesExcludesInactiveNodes) {
+  GridGraph grid(3, 3);
+  grid.graph().remove_node(4);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> terminals{0};
+  const auto c =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kAllNodes);
+  EXPECT_EQ(std::find(c.begin(), c.end(), 4), c.end());
+}
+
+TEST(CandidatesTest, CorridorIsSubsetOfAllNodes) {
+  GridGraph grid(10, 10);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> terminals{grid.node_at(1, 1), grid.node_at(3, 2),
+                                      grid.node_at(2, 4)};
+  const auto corridor =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kCorridor);
+  const auto all =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kAllNodes);
+  EXPECT_LT(corridor.size(), all.size());
+  for (const NodeId v : corridor) {
+    EXPECT_NE(std::find(all.begin(), all.end(), v), all.end());
+  }
+}
+
+TEST(CandidatesTest, CorridorCoversPathNodes) {
+  GridGraph grid(8, 1);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> terminals{grid.node_at(0, 0), grid.node_at(7, 0)};
+  const auto corridor =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kCorridor);
+  // The whole interior of the path lies on the shortest path.
+  EXPECT_EQ(corridor.size(), 6u);
+}
+
+TEST(CandidatesTest, MaxCandidatesCaps) {
+  GridGraph grid(10, 10);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> terminals{0};
+  const auto c =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kAllNodes, 7);
+  EXPECT_EQ(c.size(), 7u);
+}
+
+TEST(CandidatesTest, DeterministicOutput) {
+  GridGraph grid(9, 9);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> terminals{3, 40, 77};
+  const auto a =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kCorridor);
+  const auto b =
+      steiner_candidates(grid.graph(), terminals, oracle, CandidateStrategy::kCorridor);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,162 @@
+#include "steiner/igmst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "steiner/kmb.hpp"
+#include "steiner/zelikovsky.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+Graph star_instance() {
+  Graph g(5);  // 0..3 terminals, 4 hub
+  for (NodeId t = 0; t < 4; ++t) g.add_edge(4, t, 1.0);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) g.add_edge(a, b, 1.9);
+  }
+  return g;
+}
+
+TEST(IgmstTest, IkmbAdoptsTheHub) {
+  const Graph g = star_instance();
+  PathOracle oracle(g);
+  const std::vector<NodeId> net{0, 1, 2, 3};
+  const auto tree = ikmb(g, net, oracle);
+  ASSERT_TRUE(tree.spans(net));
+  EXPECT_DOUBLE_EQ(tree.cost(), 4.0);
+  EXPECT_TRUE(tree.contains_node(4));
+}
+
+TEST(IgmstTest, GreedyStepsMatchWalkthrough) {
+  // An instance needing two Steiner points, adopted one per iteration:
+  // two hubs, each serving a terminal triple, joined by a bridge.
+  //   terminals 0,1 near hub 6;   terminals 2,3 near hub 7;
+  //   bridge 6-7; direct terminal-terminal edges are expensive.
+  Graph g(8);
+  g.add_edge(6, 0, 1.0);
+  g.add_edge(6, 1, 1.0);
+  g.add_edge(7, 2, 1.0);
+  g.add_edge(7, 3, 1.0);
+  g.add_edge(6, 7, 1.0);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) g.add_edge(a, b, 2.9);
+  }
+  PathOracle oracle(g);
+  const std::vector<NodeId> net{0, 1, 2, 3};
+  // Intra-pair distance is 2.0 through a hub; cross-pair 2.9 direct.
+  // KMB's distance-graph MST: two intra-pair edges + one cross = 6.9.
+  const auto plain = kmb(g, net, oracle);
+  EXPECT_DOUBLE_EQ(plain.cost(), 6.9);
+
+  // One iteration adopts a hub; KMB's re-MST over the expanded paths then
+  // pulls in the second hub for free, so a single round already reaches 5.
+  IgmstOptions one_round;
+  one_round.max_iterations = 1;
+  const auto partial = ikmb(g, net, oracle, one_round);
+  EXPECT_LT(partial.cost(), plain.cost());
+
+  const auto full = ikmb(g, net, oracle);
+  EXPECT_DOUBLE_EQ(full.cost(), 5.0);  // both hubs + bridge
+  EXPECT_TRUE(full.contains_node(6));
+  EXPECT_TRUE(full.contains_node(7));
+  EXPECT_LE(full.cost(), partial.cost());
+}
+
+TEST(IgmstTest, ReturnsHeuristicSolutionWhenNoCandidateHelps) {
+  GridGraph grid(5, 1);  // a path: no Steiner point can ever help
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(4, 0)};
+  PathOracle oracle(grid.graph());
+  const auto h = kmb(grid.graph(), net, oracle);
+  const auto it = ikmb(grid.graph(), net, oracle);
+  EXPECT_DOUBLE_EQ(it.cost(), h.cost());
+}
+
+TEST(IgmstTest, UnroutableNetReturnsNonSpanningTree) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  const std::vector<NodeId> net{0, 3};
+  PathOracle oracle(g);
+  EXPECT_FALSE(ikmb(g, net, oracle).spans(net));
+}
+
+TEST(IgmstTest, WorksWithCustomHeuristic) {
+  // Plug an arbitrary conforming heuristic (plain KMB wrapped) into the
+  // template to confirm the template is heuristic-agnostic.
+  const Graph g = star_instance();
+  PathOracle oracle(g);
+  const std::vector<NodeId> net{0, 1, 2, 3};
+  int calls = 0;
+  const GmstHeuristic counted = [&calls](const Graph& gg, std::span<const NodeId> nn,
+                                         PathOracle& oo) {
+    ++calls;
+    return kmb(gg, nn, oo);
+  };
+  const auto tree = igmst(g, net, counted, oracle);
+  EXPECT_DOUBLE_EQ(tree.cost(), 4.0);
+  EXPECT_GT(calls, 1);
+}
+
+TEST(IgmstTest, CorridorStrategyStillFindsHub) {
+  const Graph g = star_instance();
+  PathOracle oracle(g);
+  const std::vector<NodeId> net{0, 1, 2, 3};
+  IgmstOptions options;
+  options.candidates = CandidateStrategy::kCorridor;
+  const auto tree = ikmb(g, net, oracle, options);
+  // The hub neighbors every terminal, so the corridor contains it.
+  EXPECT_DOUBLE_EQ(tree.cost(), 4.0);
+}
+
+TEST(IgmstTest, MaxCandidatesCapRespected) {
+  GridGraph grid(8, 8);
+  PathOracle oracle(grid.graph());
+  std::mt19937_64 rng(5);
+  const auto net = testing::random_net(64, 5, rng);
+  IgmstOptions options;
+  options.max_candidates = 3;
+  const auto tree = ikmb(grid.graph(), net, oracle, options);
+  EXPECT_TRUE(tree.spans(net));  // quality may drop; validity must not
+}
+
+class IgmstPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IgmstPropertyTest, NeverWorseThanUnderlyingHeuristic) {
+  const auto g = testing::random_connected_graph(30, 50, GetParam());
+  std::mt19937_64 rng(GetParam() + 900);
+  const auto net = testing::random_net(30, 5, rng);
+  PathOracle oracle(g);
+  const auto plain_kmb = kmb(g, net, oracle);
+  const auto iter_kmb = ikmb(g, net, oracle);
+  ASSERT_TRUE(iter_kmb.spans(net));
+  EXPECT_LE(iter_kmb.cost(), plain_kmb.cost() + 1e-9);
+
+  const auto plain_zel = zelikovsky(g, net, oracle);
+  const auto iter_zel = izel(g, net, oracle);
+  ASSERT_TRUE(iter_zel.spans(net));
+  EXPECT_LE(iter_zel.cost(), plain_zel.cost() + 1e-9);
+}
+
+TEST_P(IgmstPropertyTest, OutputIsSteinerTreeWithTerminalLeaves) {
+  const auto g = testing::random_connected_graph(25, 40, GetParam());
+  std::mt19937_64 rng(GetParam() + 901);
+  const auto net = testing::random_net(25, 4, rng);
+  PathOracle oracle(g);
+  const auto tree = ikmb(g, net, oracle);
+  ASSERT_TRUE(tree.spans(net));
+  ASSERT_TRUE(tree.is_tree());
+  for (const NodeId v : tree.nodes()) {
+    int degree = 0;
+    for (const EdgeId e : tree.edges()) {
+      if (g.edge(e).u == v || g.edge(e).v == v) ++degree;
+    }
+    if (degree == 1) {
+      EXPECT_NE(std::find(net.begin(), net.end(), v), net.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IgmstPropertyTest, ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace fpr

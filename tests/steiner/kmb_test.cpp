@@ -1,0 +1,115 @@
+#include "steiner/kmb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(KmbTest, TwoPinNetIsShortestPath) {
+  GridGraph grid(6, 6);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(4, 3)};
+  const auto tree = kmb(grid.graph(), net);
+  EXPECT_TRUE(tree.spans(net));
+  EXPECT_TRUE(tree.is_tree());
+  EXPECT_DOUBLE_EQ(tree.cost(), 7);
+}
+
+TEST(KmbTest, SingleTerminalNeedsNoWire) {
+  GridGraph grid(3, 3);
+  const std::vector<NodeId> net{grid.node_at(1, 1)};
+  const auto tree = kmb(grid.graph(), net);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.spans(net));
+}
+
+TEST(KmbTest, CollinearTerminalsShareWire) {
+  GridGraph grid(7, 3);
+  const std::vector<NodeId> net{grid.node_at(0, 1), grid.node_at(3, 1), grid.node_at(6, 1)};
+  const auto tree = kmb(grid.graph(), net);
+  EXPECT_TRUE(tree.spans(net));
+  EXPECT_DOUBLE_EQ(tree.cost(), 6);  // single straight run, no duplication
+}
+
+TEST(KmbTest, LeavesAreAlwaysTerminals) {
+  GridGraph grid(8, 8);
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto net = testing::random_net(64, 5, rng);
+    const auto tree = kmb(grid.graph(), net);
+    ASSERT_TRUE(tree.spans(net));
+    ASSERT_TRUE(tree.is_tree());
+    // Count degrees; leaves must be net pins.
+    for (const NodeId v : tree.nodes()) {
+      int degree = 0;
+      for (const EdgeId e : tree.edges()) {
+        if (grid.graph().edge(e).u == v || grid.graph().edge(e).v == v) ++degree;
+      }
+      if (degree == 1) {
+        EXPECT_NE(std::find(net.begin(), net.end(), v), net.end())
+            << "non-terminal leaf " << v;
+      }
+    }
+  }
+}
+
+TEST(KmbTest, DisconnectedNetReportsNonSpanning) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  const std::vector<NodeId> net{0, 2};
+  const auto tree = kmb(g, net);
+  EXPECT_FALSE(tree.spans(net));
+}
+
+TEST(KmbTest, DuplicatePinsAreDeduped) {
+  GridGraph grid(4, 4);
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(3, 0), grid.node_at(0, 0)};
+  const auto tree = kmb(grid.graph(), net);
+  EXPECT_DOUBLE_EQ(tree.cost(), 3);
+}
+
+TEST(KmbTest, RespectsCongestionWeights) {
+  // Heavier middle column pushes the route around it.
+  GridGraph grid(5, 3);
+  for (int y = 0; y < 2; ++y) grid.graph().set_edge_weight(grid.vertical_edge(2, y), 10);
+  for (int y = 0; y < 3; ++y) {
+    grid.graph().set_edge_weight(grid.horizontal_edge(1, y), y == 0 ? 1 : 10);
+    grid.graph().set_edge_weight(grid.horizontal_edge(2, y), y == 0 ? 1 : 10);
+  }
+  const std::vector<NodeId> net{grid.node_at(0, 1), grid.node_at(4, 1)};
+  const auto tree = kmb(grid.graph(), net);
+  ASSERT_TRUE(tree.spans(net));
+  // Detour through row 0: down, across (cheap row), up = 2 + 4 = 6 total.
+  EXPECT_DOUBLE_EQ(tree.cost(), 6);
+}
+
+TEST(KmbTest, SharedOracleAvoidsRecomputation) {
+  GridGraph grid(6, 6);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(5, 5), grid.node_at(0, 5)};
+  kmb(grid.graph(), net, oracle);
+  const auto runs = oracle.dijkstra_runs();
+  kmb(grid.graph(), net, oracle);
+  EXPECT_EQ(oracle.dijkstra_runs(), runs);  // second run fully served by cache
+}
+
+class KmbBoundTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KmbBoundTest, WithinTwiceOptimal) {
+  const auto g = testing::random_connected_graph(12, 14, GetParam());
+  std::mt19937_64 rng(GetParam() + 100);
+  const auto net = testing::random_net(12, 4, rng);
+  const auto tree = kmb(g, net);
+  ASSERT_TRUE(tree.spans(net));
+  const Weight opt = testing::brute_force_gmst_cost(g, net);
+  EXPECT_GE(tree.cost(), opt - 1e-9);
+  EXPECT_LE(tree.cost(), 2.0 * opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KmbBoundTest, ::testing::Range(0u, 15u));
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,101 @@
+// Cross-algorithm properties over the whole Steiner family, swept with
+// parameterized seeds: approximation-bound chains and the quality ordering
+// the paper reports (IZEL <= IKMB, iterated <= plain, everything >= OPT).
+
+#include <gtest/gtest.h>
+
+#include "graph/grid.hpp"
+#include "steiner/exact_gmst.hpp"
+#include "steiner/igmst.hpp"
+#include "steiner/kmb.hpp"
+#include "steiner/zelikovsky.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+struct Case {
+  unsigned seed;
+  int pins;
+};
+
+class SteinerFamilyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SteinerFamilyTest, BoundChainOnRandomGraphs) {
+  const auto [seed, pins] = GetParam();
+  const auto g = testing::random_connected_graph(22, 30, seed);
+  std::mt19937_64 rng(seed * 7 + 13);
+  const auto net = testing::random_net(22, pins, rng);
+  PathOracle oracle(g);
+
+  const auto opt = exact_gmst(g, net, oracle);
+  ASSERT_TRUE(opt.has_value());
+  const Weight opt_cost = opt->cost();
+
+  const auto k = kmb(g, net, oracle);
+  const auto z = zelikovsky(g, net, oracle);
+  const auto ik = ikmb(g, net, oracle);
+  const auto iz = izel(g, net, oracle);
+
+  for (const auto* tree : {&k, &z, &ik, &iz}) {
+    ASSERT_TRUE(tree->spans(net));
+    EXPECT_GE(tree->cost(), opt_cost - 1e-9);  // nothing beats the exact DP
+  }
+  EXPECT_LE(k.cost(), 2.0 * opt_cost + 1e-9);
+  EXPECT_LE(ik.cost(), 2.0 * opt_cost + 1e-9);
+  EXPECT_LE(z.cost(), (11.0 / 6.0) * opt_cost + 1e-9);
+  EXPECT_LE(iz.cost(), (11.0 / 6.0) * opt_cost + 1e-9);
+  // Iteration never hurts.
+  EXPECT_LE(ik.cost(), k.cost() + 1e-9);
+  EXPECT_LE(iz.cost(), z.cost() + 1e-9);
+}
+
+TEST_P(SteinerFamilyTest, GridInstancesStaySane) {
+  const auto [seed, pins] = GetParam();
+  GridGraph grid(9, 9);
+  std::mt19937_64 rng(seed * 11 + 1);
+  const auto net = testing::random_net(81, pins, rng);
+  PathOracle oracle(grid.graph());
+  const auto ik = ikmb(grid.graph(), net, oracle);
+  ASSERT_TRUE(ik.spans(net));
+  ASSERT_TRUE(ik.is_tree());
+  // Rectilinear lower bound: half the bounding-box semi-perimeter is weak
+  // but must hold on a unit grid.
+  int min_x = 9, max_x = 0, min_y = 9, max_y = 0;
+  for (const NodeId v : net) {
+    const auto [x, y] = grid.coord(v);
+    min_x = std::min(min_x, x);
+    max_x = std::max(max_x, x);
+    min_y = std::min(min_y, y);
+    max_y = std::max(max_y, y);
+  }
+  EXPECT_GE(ik.cost(), static_cast<Weight>((max_x - min_x) + (max_y - min_y)) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SteinerFamilyTest,
+                         ::testing::Values(Case{1, 3}, Case{2, 3}, Case{3, 4}, Case{4, 4},
+                                           Case{5, 4}, Case{6, 5}, Case{7, 5}, Case{8, 5},
+                                           Case{9, 6}, Case{10, 6}, Case{11, 4}, Case{12, 5}));
+
+TEST(SteinerCongestionTest, AlgorithmsAdaptToWeightChanges) {
+  // Route the same net before and after congesting the direct corridor:
+  // costs must not decrease, and the congested route must avoid the heavy
+  // edges when a detour is cheaper.
+  GridGraph grid(7, 7);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> net{grid.node_at(0, 3), grid.node_at(6, 3), grid.node_at(3, 6)};
+  // Snapshot the cost before mutating weights: RoutingTree::cost() reads the
+  // live graph.
+  const Weight before = ikmb(grid.graph(), net, oracle).cost();
+  for (int x = 0; x < 6; ++x) {
+    grid.graph().set_edge_weight(grid.horizontal_edge(x, 3), 4.0);
+  }
+  const auto after = ikmb(grid.graph(), net, oracle);
+  ASSERT_TRUE(after.spans(net));
+  EXPECT_GT(after.cost(), before);
+  // Paths are still measured in the congested metric.
+  EXPECT_LE(after.cost(), 3 * 4.0 + before);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,88 @@
+#include "steiner/zelikovsky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "steiner/kmb.hpp"
+#include "test_util.hpp"
+
+namespace fpr {
+namespace {
+
+/// Star instance where the MST over terminals costs 3 * 1.9 = 5.7 but the
+/// Steiner star through the hub costs 4. KMB misses the hub; ZEL's triple
+/// contraction finds it.
+Graph star_instance() {
+  Graph g(5);  // 0..3 terminals, 4 hub
+  for (NodeId t = 0; t < 4; ++t) g.add_edge(4, t, 1.0);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) g.add_edge(a, b, 1.9);
+  }
+  return g;
+}
+
+TEST(ZelikovskyTest, FindsHubSteinerPoint) {
+  const Graph g = star_instance();
+  const std::vector<NodeId> net{0, 1, 2, 3};
+  const auto kmb_tree = kmb(g, net);
+  const auto zel_tree = zelikovsky(g, net);
+  ASSERT_TRUE(zel_tree.spans(net));
+  EXPECT_DOUBLE_EQ(kmb_tree.cost(), 5.7);
+  EXPECT_DOUBLE_EQ(zel_tree.cost(), 4.0);
+  EXPECT_TRUE(zel_tree.contains_node(4));
+}
+
+TEST(ZelikovskyTest, FallsBackToKmbForTwoPins) {
+  const Graph g = star_instance();
+  const std::vector<NodeId> net{0, 1};
+  const auto tree = zelikovsky(g, net);
+  ASSERT_TRUE(tree.spans(net));
+  EXPECT_DOUBLE_EQ(tree.cost(), 1.9);
+}
+
+TEST(ZelikovskyTest, SingleAndEmptyNets) {
+  const Graph g = star_instance();
+  EXPECT_TRUE(zelikovsky(g, std::vector<NodeId>{2}).empty());
+  EXPECT_TRUE(zelikovsky(g, std::vector<NodeId>{}).empty());
+}
+
+TEST(ZelikovskyTest, DisconnectedNetReportsNonSpanning) {
+  Graph g(5);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  // 3, 4 isolated.
+  const std::vector<NodeId> net{0, 2, 4};
+  EXPECT_FALSE(zelikovsky(g, net).spans(net));
+}
+
+TEST(ZelikovskyTest, NeverWorseThanKmbOnGrids) {
+  GridGraph grid(10, 10);
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto net = testing::random_net(100, 6, rng);
+    const auto k = kmb(grid.graph(), net);
+    const auto z = zelikovsky(grid.graph(), net);
+    ASSERT_TRUE(z.spans(net));
+    ASSERT_TRUE(z.is_tree());
+    // ZEL only contracts on strictly positive win, so it should not lose to
+    // KMB; allow exact ties.
+    EXPECT_LE(z.cost(), k.cost() + 1e-9);
+  }
+}
+
+class ZelBoundTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ZelBoundTest, WithinElevenSixthsOptimal) {
+  const auto g = testing::random_connected_graph(12, 14, GetParam());
+  std::mt19937_64 rng(GetParam() + 500);
+  const auto net = testing::random_net(12, 5, rng);
+  const auto tree = zelikovsky(g, net);
+  ASSERT_TRUE(tree.spans(net));
+  const Weight opt = testing::brute_force_gmst_cost(g, net);
+  EXPECT_GE(tree.cost(), opt - 1e-9);
+  EXPECT_LE(tree.cost(), (11.0 / 6.0) * opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZelBoundTest, ::testing::Range(0u, 15u));
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,60 @@
+#include "workload/congestion_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(CongestionTest, LevelsMatchPaperParameters) {
+  EXPECT_EQ(congestion_none().pre_routed_nets, 0);
+  EXPECT_DOUBLE_EQ(congestion_none().paper_mean_weight, 1.00);
+  EXPECT_EQ(congestion_low().pre_routed_nets, 10);
+  EXPECT_DOUBLE_EQ(congestion_low().paper_mean_weight, 1.28);
+  EXPECT_EQ(congestion_medium().pre_routed_nets, 20);
+  EXPECT_DOUBLE_EQ(congestion_medium().paper_mean_weight, 1.55);
+}
+
+TEST(CongestionTest, NoCongestionKeepsUnitWeights) {
+  std::mt19937_64 rng(5);
+  const GridGraph grid = make_congested_grid(20, 20, 0, rng);
+  EXPECT_DOUBLE_EQ(grid.graph().mean_active_edge_weight(), 1.0);
+}
+
+TEST(CongestionTest, WeightsOnlyIncrease) {
+  std::mt19937_64 rng(6);
+  const GridGraph grid = make_congested_grid(20, 20, 15, rng);
+  for (EdgeId e = 0; e < grid.graph().edge_count(); ++e) {
+    EXPECT_GE(grid.graph().edge_weight(e), 1.0);
+  }
+  EXPECT_GT(grid.graph().mean_active_edge_weight(), 1.0);
+}
+
+TEST(CongestionTest, MeanWeightsReproducePaperLevels) {
+  // The paper reports w-bar = 1.28 at k=10 and 1.55 at k=20 on 20x20 grids.
+  // Average over many generated graphs and allow a modest tolerance (the
+  // exact value depends on KMB tie-breaking).
+  for (const auto& level : {congestion_low(), congestion_medium()}) {
+    std::mt19937_64 rng(7);
+    RunningStat stat;
+    for (int i = 0; i < 40; ++i) {
+      const GridGraph grid = make_congested_grid(20, 20, level.pre_routed_nets, rng);
+      stat.add(grid.graph().mean_active_edge_weight());
+    }
+    EXPECT_NEAR(stat.mean(), level.paper_mean_weight, 0.12)
+        << "k=" << level.pre_routed_nets;
+  }
+}
+
+TEST(CongestionTest, DeterministicPerRngState) {
+  std::mt19937_64 a(11), b(11);
+  const GridGraph ga = make_congested_grid(10, 10, 8, a);
+  const GridGraph gb = make_congested_grid(10, 10, 8, b);
+  for (EdgeId e = 0; e < ga.graph().edge_count(); ++e) {
+    EXPECT_DOUBLE_EQ(ga.graph().edge_weight(e), gb.graph().edge_weight(e));
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,60 @@
+#include "workload/random_nets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fpr {
+namespace {
+
+TEST(RandomNetsTest, PinsAreDistinct) {
+  GridGraph grid(20, 20);
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Net net = random_grid_net(grid, 8, rng);
+    std::set<NodeId> pins{net.source};
+    for (const NodeId s : net.sinks) {
+      EXPECT_TRUE(pins.insert(s).second);
+    }
+    EXPECT_EQ(net.pin_count(), 8);
+  }
+}
+
+TEST(RandomNetsTest, RangedPinCountStaysInRange) {
+  GridGraph grid(10, 10);
+  std::mt19937_64 rng(2);
+  std::set<int> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Net net = random_grid_net(grid, 2, 5, rng);
+    EXPECT_GE(net.pin_count(), 2);
+    EXPECT_LE(net.pin_count(), 5);
+    seen.insert(net.pin_count());
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all sizes drawn over 200 trials
+}
+
+TEST(RandomNetsTest, DeterministicPerSeed) {
+  GridGraph grid(12, 12);
+  std::mt19937_64 a(9), b(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Net na = random_grid_net(grid, 5, a);
+    const Net nb = random_grid_net(grid, 5, b);
+    EXPECT_EQ(na.source, nb.source);
+    EXPECT_EQ(na.sinks, nb.sinks);
+  }
+}
+
+TEST(RandomNetsTest, CoversTheGrid) {
+  GridGraph grid(5, 5);
+  std::mt19937_64 rng(3);
+  std::set<NodeId> seen;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Net net = random_grid_net(grid, 3, rng);
+    seen.insert(net.source);
+    seen.insert(net.sinks.begin(), net.sinks.end());
+  }
+  EXPECT_EQ(seen.size(), 25u);  // uniform sampling touches every node
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,137 @@
+#include "workload/worstcase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arbor/exact_gsa.hpp"
+#include "arbor/idom.hpp"
+#include "arbor/pfa.hpp"
+#include "core/route.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(Fig10Test, OptimalCostMatchesExactSolver) {
+  for (const int pairs : {1, 2, 3}) {
+    const auto inst = pfa_weighted_worst_case(pairs);
+    const auto opt = exact_gsa(inst.graph, inst.net.terminals());
+    ASSERT_TRUE(opt.has_value()) << pairs;
+    EXPECT_TRUE(weight_eq(opt->cost(), inst.optimal_cost)) << pairs;
+  }
+}
+
+TEST(Fig10Test, PfaRatioGrowsLinearly) {
+  double prev_ratio = 0;
+  for (const int pairs : {2, 4, 8, 16}) {
+    const auto inst = pfa_weighted_worst_case(pairs);
+    PathOracle oracle(inst.graph);
+    const auto tree = pfa(inst.graph, inst.net.terminals(), oracle);
+    ASSERT_TRUE(tree.spans(inst.net.terminals()));
+    const double ratio = tree.cost() / inst.optimal_cost;
+    EXPECT_GT(ratio, prev_ratio);
+    // The gadget forces ~pairs/2 unit decoy paths against the unit optimum,
+    // but any Theta(pairs) growth demonstrates the figure; be tolerant.
+    EXPECT_GE(ratio, 0.4 * pairs);
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Fig10Test, PfaStillDeliversOptimalPathlengths) {
+  // Even on its worst case, PFA must keep the GSA feasibility invariant.
+  const auto inst = pfa_weighted_worst_case(4);
+  PathOracle oracle(inst.graph);
+  const auto tree = pfa(inst.graph, inst.net.terminals(), oracle);
+  const auto& spt = oracle.from(inst.net.source);
+  for (const NodeId s : inst.net.sinks) {
+    EXPECT_TRUE(weight_eq(tree.path_length(inst.net.source, s), spt.distance(s)));
+  }
+}
+
+TEST(Fig10Test, IdomEscapesThePfaTrap) {
+  // Section 4.2's motivation: IDOM "optimally solves these particular
+  // worst-case examples" — it can adopt the hub as a Steiner node.
+  const auto inst = pfa_weighted_worst_case(4);
+  PathOracle oracle(inst.graph);
+  const auto tree = idom(inst.graph, inst.net.terminals(), oracle);
+  ASSERT_TRUE(tree.spans(inst.net.terminals()));
+  EXPECT_TRUE(weight_eq(tree.cost(), inst.optimal_cost));
+}
+
+TEST(Fig11Test, StaircaseGeometry) {
+  const auto inst = pfa_staircase(4);
+  EXPECT_EQ(inst.grid.width(), 5);
+  EXPECT_EQ(inst.grid.height(), 9);
+  // p_i = (i, 2*(4-i)) for i = 0..4; none coincides with the origin source.
+  EXPECT_EQ(inst.net.sinks.size(), 5u);
+}
+
+TEST(Fig11Test, SinksArePairwiseIncomparable) {
+  const auto inst = pfa_staircase(5);
+  PathOracle oracle(inst.grid.graph());
+  for (const NodeId a : inst.net.sinks) {
+    for (const NodeId b : inst.net.sinks) {
+      if (a == b) continue;
+      // No sink lies on a shortest source path of another.
+      EXPECT_FALSE(weight_eq(oracle.from(inst.net.source).distance(a),
+                             oracle.from(inst.net.source).distance(b) + oracle.distance(b, a)));
+    }
+  }
+}
+
+TEST(Fig11Test, PfaStaysWithinTwiceOptimalAndIsSometimesSuboptimal) {
+  // The paper cites this family as RSA's 2x-tight example. Our PFA appends
+  // an SPT-extraction step over the folded-path union, which provably never
+  // hurts and empirically defuses the published tightness: measured ratios
+  // fluctuate slightly above 1 instead of approaching 2 (see DESIGN.md /
+  // EXPERIMENTS.md). This test pins the proven bound and the fact that the
+  // family still produces strictly suboptimal PFA trees.
+  bool any_suboptimal = false;
+  for (const int steps : {2, 4, 7, 9}) {
+    const auto inst = pfa_staircase(steps);
+    PathOracle oracle(inst.grid.graph());
+    const auto tree = pfa(inst.grid.graph(), inst.net.terminals(), oracle);
+    const auto opt = exact_gsa(inst.grid.graph(), inst.net.terminals(), oracle);
+    ASSERT_TRUE(opt.has_value());
+    const double ratio = tree.cost() / opt->cost();
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LE(ratio, 2.0 + 1e-9);  // PFA's grid performance bound
+    if (ratio > 1.0 + 1e-9) any_suboptimal = true;
+  }
+  EXPECT_TRUE(any_suboptimal);
+}
+
+TEST(Fig14Test, OptimalCostMatchesExactSolver) {
+  for (const int levels : {1, 2}) {
+    const auto inst = idom_set_cover_worst_case(levels);  // 4 resp. 8 sinks
+    const auto opt = exact_gsa(inst.graph, inst.net.terminals());
+    ASSERT_TRUE(opt.has_value()) << levels;
+    EXPECT_TRUE(weight_eq(opt->cost(), inst.optimal_cost)) << levels;
+  }
+}
+
+TEST(Fig14Test, IdomRatioGrowsLogarithmically) {
+  std::vector<double> ratios;
+  for (const int levels : {2, 3, 4}) {
+    const auto inst = idom_set_cover_worst_case(levels);
+    PathOracle oracle(inst.graph);
+    const auto tree = idom(inst.graph, inst.net.terminals(), oracle);
+    ASSERT_TRUE(tree.spans(inst.net.terminals()));
+    ratios.push_back(tree.cost() / inst.optimal_cost);
+  }
+  // Ratio grows with levels (log of the sink count) and exceeds 1.
+  EXPECT_GT(ratios[0], 1.0);
+  EXPECT_GT(ratios[1], ratios[0]);
+  EXPECT_GT(ratios[2], ratios[1]);
+}
+
+TEST(Fig14Test, IdomKeepsPathlengthsOptimalOnTheGadget) {
+  const auto inst = idom_set_cover_worst_case(3);
+  PathOracle oracle(inst.graph);
+  const auto tree = idom(inst.graph, inst.net.terminals(), oracle);
+  const auto& spt = oracle.from(inst.net.source);
+  for (const NodeId s : inst.net.sinks) {
+    EXPECT_TRUE(weight_eq(tree.path_length(inst.net.source, s), spt.distance(s)));
+  }
+}
+
+}  // namespace
+}  // namespace fpr
