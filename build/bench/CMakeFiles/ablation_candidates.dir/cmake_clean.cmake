@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_candidates.dir/ablation_candidates.cpp.o"
+  "CMakeFiles/ablation_candidates.dir/ablation_candidates.cpp.o.d"
+  "ablation_candidates"
+  "ablation_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

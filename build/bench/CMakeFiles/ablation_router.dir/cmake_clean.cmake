@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_router.dir/ablation_router.cpp.o"
+  "CMakeFiles/ablation_router.dir/ablation_router.cpp.o.d"
+  "ablation_router"
+  "ablation_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

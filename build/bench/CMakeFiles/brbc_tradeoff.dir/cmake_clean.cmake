@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brbc_tradeoff.dir/brbc_tradeoff.cpp.o"
+  "CMakeFiles/brbc_tradeoff.dir/brbc_tradeoff.cpp.o.d"
+  "brbc_tradeoff"
+  "brbc_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brbc_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

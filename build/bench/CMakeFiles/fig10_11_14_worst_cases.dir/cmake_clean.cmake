@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_14_worst_cases.dir/fig10_11_14_worst_cases.cpp.o"
+  "CMakeFiles/fig10_11_14_worst_cases.dir/fig10_11_14_worst_cases.cpp.o.d"
+  "fig10_11_14_worst_cases"
+  "fig10_11_14_worst_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_14_worst_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

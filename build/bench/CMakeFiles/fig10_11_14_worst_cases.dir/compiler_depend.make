@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_11_14_worst_cases.
+# This may be replaced when dependencies are built.

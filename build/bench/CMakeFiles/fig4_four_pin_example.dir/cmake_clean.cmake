@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_four_pin_example.dir/fig4_four_pin_example.cpp.o"
+  "CMakeFiles/fig4_four_pin_example.dir/fig4_four_pin_example.cpp.o.d"
+  "fig4_four_pin_example"
+  "fig4_four_pin_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_four_pin_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_four_pin_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_four_pin_example.
+# This may be replaced when dependencies are built.

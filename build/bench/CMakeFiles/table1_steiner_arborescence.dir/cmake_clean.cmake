@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_steiner_arborescence.dir/table1_steiner_arborescence.cpp.o"
+  "CMakeFiles/table1_steiner_arborescence.dir/table1_steiner_arborescence.cpp.o.d"
+  "table1_steiner_arborescence"
+  "table1_steiner_arborescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_steiner_arborescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

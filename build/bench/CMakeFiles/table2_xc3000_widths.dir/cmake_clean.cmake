@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_xc3000_widths.dir/table2_xc3000_widths.cpp.o"
+  "CMakeFiles/table2_xc3000_widths.dir/table2_xc3000_widths.cpp.o.d"
+  "table2_xc3000_widths"
+  "table2_xc3000_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_xc3000_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_xc4000_widths.dir/table3_xc4000_widths.cpp.o"
+  "CMakeFiles/table3_xc4000_widths.dir/table3_xc4000_widths.cpp.o.d"
+  "table3_xc4000_widths"
+  "table3_xc4000_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_xc4000_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

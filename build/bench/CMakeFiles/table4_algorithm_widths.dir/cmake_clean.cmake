@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_algorithm_widths.dir/table4_algorithm_widths.cpp.o"
+  "CMakeFiles/table4_algorithm_widths.dir/table4_algorithm_widths.cpp.o.d"
+  "table4_algorithm_widths"
+  "table4_algorithm_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_algorithm_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_algorithm_widths.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_wirelength_pathlength.dir/table5_wirelength_pathlength.cpp.o"
+  "CMakeFiles/table5_wirelength_pathlength.dir/table5_wirelength_pathlength.cpp.o.d"
+  "table5_wirelength_pathlength"
+  "table5_wirelength_pathlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_wirelength_pathlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

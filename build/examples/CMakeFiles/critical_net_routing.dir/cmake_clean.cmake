@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_net_routing.dir/critical_net_routing.cpp.o"
+  "CMakeFiles/critical_net_routing.dir/critical_net_routing.cpp.o.d"
+  "critical_net_routing"
+  "critical_net_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_net_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

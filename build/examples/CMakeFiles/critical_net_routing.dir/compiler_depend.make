@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for critical_net_routing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_benchmarks.dir/export_benchmarks.cpp.o"
+  "CMakeFiles/export_benchmarks.dir/export_benchmarks.cpp.o.d"
+  "export_benchmarks"
+  "export_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_circuit_routing.dir/fpga_circuit_routing.cpp.o"
+  "CMakeFiles/fpga_circuit_routing.dir/fpga_circuit_routing.cpp.o.d"
+  "fpga_circuit_routing"
+  "fpga_circuit_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_circuit_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

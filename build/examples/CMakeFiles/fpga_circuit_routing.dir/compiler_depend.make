@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpga_circuit_routing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fpga_circuit_routing.
+# This may be replaced when dependencies are built.

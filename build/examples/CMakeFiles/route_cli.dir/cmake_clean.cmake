@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_cli.dir/route_cli.cpp.o"
+  "CMakeFiles/route_cli.dir/route_cli.cpp.o.d"
+  "route_cli"
+  "route_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

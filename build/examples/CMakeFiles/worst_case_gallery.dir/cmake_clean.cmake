@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case_gallery.dir/worst_case_gallery.cpp.o"
+  "CMakeFiles/worst_case_gallery.dir/worst_case_gallery.cpp.o.d"
+  "worst_case_gallery"
+  "worst_case_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for worst_case_gallery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_analysis.dir/analysis/stats.cpp.o"
+  "CMakeFiles/fpr_analysis.dir/analysis/stats.cpp.o.d"
+  "CMakeFiles/fpr_analysis.dir/analysis/table.cpp.o"
+  "CMakeFiles/fpr_analysis.dir/analysis/table.cpp.o.d"
+  "libfpr_analysis.a"
+  "libfpr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arbor/arbor_common.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/arbor_common.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/arbor_common.cpp.o.d"
+  "/root/repo/src/arbor/brbc.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/brbc.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/brbc.cpp.o.d"
+  "/root/repo/src/arbor/djka.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/djka.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/djka.cpp.o.d"
+  "/root/repo/src/arbor/dom.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/dom.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/dom.cpp.o.d"
+  "/root/repo/src/arbor/dominance.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/dominance.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/dominance.cpp.o.d"
+  "/root/repo/src/arbor/exact_gsa.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/exact_gsa.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/exact_gsa.cpp.o.d"
+  "/root/repo/src/arbor/idom.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/idom.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/idom.cpp.o.d"
+  "/root/repo/src/arbor/pfa.cpp" "src/CMakeFiles/fpr_arbor.dir/arbor/pfa.cpp.o" "gcc" "src/CMakeFiles/fpr_arbor.dir/arbor/pfa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_steiner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

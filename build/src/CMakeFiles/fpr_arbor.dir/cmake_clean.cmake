@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_arbor.dir/arbor/arbor_common.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/arbor_common.cpp.o.d"
+  "CMakeFiles/fpr_arbor.dir/arbor/brbc.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/brbc.cpp.o.d"
+  "CMakeFiles/fpr_arbor.dir/arbor/djka.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/djka.cpp.o.d"
+  "CMakeFiles/fpr_arbor.dir/arbor/dom.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/dom.cpp.o.d"
+  "CMakeFiles/fpr_arbor.dir/arbor/dominance.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/dominance.cpp.o.d"
+  "CMakeFiles/fpr_arbor.dir/arbor/exact_gsa.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/exact_gsa.cpp.o.d"
+  "CMakeFiles/fpr_arbor.dir/arbor/idom.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/idom.cpp.o.d"
+  "CMakeFiles/fpr_arbor.dir/arbor/pfa.cpp.o"
+  "CMakeFiles/fpr_arbor.dir/arbor/pfa.cpp.o.d"
+  "libfpr_arbor.a"
+  "libfpr_arbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_arbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpr_arbor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fpr_arbor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/fpr_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/fpr_core.dir/core/route.cpp.o"
+  "CMakeFiles/fpr_core.dir/core/route.cpp.o.d"
+  "libfpr_core.a"
+  "libfpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_experiments.dir/experiments/figures.cpp.o"
+  "CMakeFiles/fpr_experiments.dir/experiments/figures.cpp.o.d"
+  "CMakeFiles/fpr_experiments.dir/experiments/table1.cpp.o"
+  "CMakeFiles/fpr_experiments.dir/experiments/table1.cpp.o.d"
+  "CMakeFiles/fpr_experiments.dir/experiments/table45.cpp.o"
+  "CMakeFiles/fpr_experiments.dir/experiments/table45.cpp.o.d"
+  "CMakeFiles/fpr_experiments.dir/experiments/tables23.cpp.o"
+  "CMakeFiles/fpr_experiments.dir/experiments/tables23.cpp.o.d"
+  "libfpr_experiments.a"
+  "libfpr_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

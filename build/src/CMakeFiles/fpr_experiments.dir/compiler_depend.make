@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpr_experiments.
+# This may be replaced when dependencies are built.

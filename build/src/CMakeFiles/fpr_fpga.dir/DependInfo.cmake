@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/arch.cpp" "src/CMakeFiles/fpr_fpga.dir/fpga/arch.cpp.o" "gcc" "src/CMakeFiles/fpr_fpga.dir/fpga/arch.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/CMakeFiles/fpr_fpga.dir/fpga/device.cpp.o" "gcc" "src/CMakeFiles/fpr_fpga.dir/fpga/device.cpp.o.d"
+  "/root/repo/src/fpga/device3d.cpp" "src/CMakeFiles/fpr_fpga.dir/fpga/device3d.cpp.o" "gcc" "src/CMakeFiles/fpr_fpga.dir/fpga/device3d.cpp.o.d"
+  "/root/repo/src/fpga/switchbox.cpp" "src/CMakeFiles/fpr_fpga.dir/fpga/switchbox.cpp.o" "gcc" "src/CMakeFiles/fpr_fpga.dir/fpga/switchbox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

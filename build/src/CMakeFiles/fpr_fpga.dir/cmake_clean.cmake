@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_fpga.dir/fpga/arch.cpp.o"
+  "CMakeFiles/fpr_fpga.dir/fpga/arch.cpp.o.d"
+  "CMakeFiles/fpr_fpga.dir/fpga/device.cpp.o"
+  "CMakeFiles/fpr_fpga.dir/fpga/device.cpp.o.d"
+  "CMakeFiles/fpr_fpga.dir/fpga/device3d.cpp.o"
+  "CMakeFiles/fpr_fpga.dir/fpga/device3d.cpp.o.d"
+  "CMakeFiles/fpr_fpga.dir/fpga/switchbox.cpp.o"
+  "CMakeFiles/fpr_fpga.dir/fpga/switchbox.cpp.o.d"
+  "libfpr_fpga.a"
+  "libfpr_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

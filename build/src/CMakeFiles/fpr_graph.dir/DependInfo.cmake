@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dijkstra.cpp" "src/CMakeFiles/fpr_graph.dir/graph/dijkstra.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/distance_graph.cpp" "src/CMakeFiles/fpr_graph.dir/graph/distance_graph.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/distance_graph.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/fpr_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/grid.cpp" "src/CMakeFiles/fpr_graph.dir/graph/grid.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/grid.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/CMakeFiles/fpr_graph.dir/graph/mst.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/mst.cpp.o.d"
+  "/root/repo/src/graph/path_oracle.cpp" "src/CMakeFiles/fpr_graph.dir/graph/path_oracle.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/path_oracle.cpp.o.d"
+  "/root/repo/src/graph/routing_tree.cpp" "src/CMakeFiles/fpr_graph.dir/graph/routing_tree.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/routing_tree.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/CMakeFiles/fpr_graph.dir/graph/union_find.cpp.o" "gcc" "src/CMakeFiles/fpr_graph.dir/graph/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

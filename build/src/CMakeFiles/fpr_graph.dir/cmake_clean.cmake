@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_graph.dir/graph/dijkstra.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/dijkstra.cpp.o.d"
+  "CMakeFiles/fpr_graph.dir/graph/distance_graph.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/distance_graph.cpp.o.d"
+  "CMakeFiles/fpr_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/fpr_graph.dir/graph/grid.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/grid.cpp.o.d"
+  "CMakeFiles/fpr_graph.dir/graph/mst.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/mst.cpp.o.d"
+  "CMakeFiles/fpr_graph.dir/graph/path_oracle.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/path_oracle.cpp.o.d"
+  "CMakeFiles/fpr_graph.dir/graph/routing_tree.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/routing_tree.cpp.o.d"
+  "CMakeFiles/fpr_graph.dir/graph/union_find.cpp.o"
+  "CMakeFiles/fpr_graph.dir/graph/union_find.cpp.o.d"
+  "libfpr_graph.a"
+  "libfpr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_io.dir/io/text_io.cpp.o"
+  "CMakeFiles/fpr_io.dir/io/text_io.cpp.o.d"
+  "libfpr_io.a"
+  "libfpr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

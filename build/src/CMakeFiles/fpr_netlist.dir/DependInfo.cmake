@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/fpr_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/fpr_netlist.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/profiles.cpp" "src/CMakeFiles/fpr_netlist.dir/netlist/profiles.cpp.o" "gcc" "src/CMakeFiles/fpr_netlist.dir/netlist/profiles.cpp.o.d"
+  "/root/repo/src/netlist/synth.cpp" "src/CMakeFiles/fpr_netlist.dir/netlist/synth.cpp.o" "gcc" "src/CMakeFiles/fpr_netlist.dir/netlist/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_arbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

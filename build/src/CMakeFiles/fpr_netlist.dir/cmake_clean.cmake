@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/fpr_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/fpr_netlist.dir/netlist/profiles.cpp.o"
+  "CMakeFiles/fpr_netlist.dir/netlist/profiles.cpp.o.d"
+  "CMakeFiles/fpr_netlist.dir/netlist/synth.cpp.o"
+  "CMakeFiles/fpr_netlist.dir/netlist/synth.cpp.o.d"
+  "libfpr_netlist.a"
+  "libfpr_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_router.dir/router/baseline.cpp.o"
+  "CMakeFiles/fpr_router.dir/router/baseline.cpp.o.d"
+  "CMakeFiles/fpr_router.dir/router/router.cpp.o"
+  "CMakeFiles/fpr_router.dir/router/router.cpp.o.d"
+  "CMakeFiles/fpr_router.dir/router/width_search.cpp.o"
+  "CMakeFiles/fpr_router.dir/router/width_search.cpp.o.d"
+  "libfpr_router.a"
+  "libfpr_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

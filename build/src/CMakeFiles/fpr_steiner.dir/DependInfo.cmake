@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steiner/candidates.cpp" "src/CMakeFiles/fpr_steiner.dir/steiner/candidates.cpp.o" "gcc" "src/CMakeFiles/fpr_steiner.dir/steiner/candidates.cpp.o.d"
+  "/root/repo/src/steiner/exact_gmst.cpp" "src/CMakeFiles/fpr_steiner.dir/steiner/exact_gmst.cpp.o" "gcc" "src/CMakeFiles/fpr_steiner.dir/steiner/exact_gmst.cpp.o.d"
+  "/root/repo/src/steiner/igmst.cpp" "src/CMakeFiles/fpr_steiner.dir/steiner/igmst.cpp.o" "gcc" "src/CMakeFiles/fpr_steiner.dir/steiner/igmst.cpp.o.d"
+  "/root/repo/src/steiner/kmb.cpp" "src/CMakeFiles/fpr_steiner.dir/steiner/kmb.cpp.o" "gcc" "src/CMakeFiles/fpr_steiner.dir/steiner/kmb.cpp.o.d"
+  "/root/repo/src/steiner/zelikovsky.cpp" "src/CMakeFiles/fpr_steiner.dir/steiner/zelikovsky.cpp.o" "gcc" "src/CMakeFiles/fpr_steiner.dir/steiner/zelikovsky.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_steiner.dir/steiner/candidates.cpp.o"
+  "CMakeFiles/fpr_steiner.dir/steiner/candidates.cpp.o.d"
+  "CMakeFiles/fpr_steiner.dir/steiner/exact_gmst.cpp.o"
+  "CMakeFiles/fpr_steiner.dir/steiner/exact_gmst.cpp.o.d"
+  "CMakeFiles/fpr_steiner.dir/steiner/igmst.cpp.o"
+  "CMakeFiles/fpr_steiner.dir/steiner/igmst.cpp.o.d"
+  "CMakeFiles/fpr_steiner.dir/steiner/kmb.cpp.o"
+  "CMakeFiles/fpr_steiner.dir/steiner/kmb.cpp.o.d"
+  "CMakeFiles/fpr_steiner.dir/steiner/zelikovsky.cpp.o"
+  "CMakeFiles/fpr_steiner.dir/steiner/zelikovsky.cpp.o.d"
+  "libfpr_steiner.a"
+  "libfpr_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

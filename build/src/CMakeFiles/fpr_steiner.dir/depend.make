@@ -1,0 +1,2 @@
+# Empty dependencies file for fpr_steiner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/congestion_model.cpp" "src/CMakeFiles/fpr_workload.dir/workload/congestion_model.cpp.o" "gcc" "src/CMakeFiles/fpr_workload.dir/workload/congestion_model.cpp.o.d"
+  "/root/repo/src/workload/random_nets.cpp" "src/CMakeFiles/fpr_workload.dir/workload/random_nets.cpp.o" "gcc" "src/CMakeFiles/fpr_workload.dir/workload/random_nets.cpp.o.d"
+  "/root/repo/src/workload/worstcase.cpp" "src/CMakeFiles/fpr_workload.dir/workload/worstcase.cpp.o" "gcc" "src/CMakeFiles/fpr_workload.dir/workload/worstcase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_arbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_workload.dir/workload/congestion_model.cpp.o"
+  "CMakeFiles/fpr_workload.dir/workload/congestion_model.cpp.o.d"
+  "CMakeFiles/fpr_workload.dir/workload/random_nets.cpp.o"
+  "CMakeFiles/fpr_workload.dir/workload/random_nets.cpp.o.d"
+  "CMakeFiles/fpr_workload.dir/workload/worstcase.cpp.o"
+  "CMakeFiles/fpr_workload.dir/workload/worstcase.cpp.o.d"
+  "libfpr_workload.a"
+  "libfpr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

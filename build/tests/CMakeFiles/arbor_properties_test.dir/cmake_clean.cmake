@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbor_properties_test.dir/arbor/arbor_properties_test.cpp.o"
+  "CMakeFiles/arbor_properties_test.dir/arbor/arbor_properties_test.cpp.o.d"
+  "arbor_properties_test"
+  "arbor_properties_test.pdb"
+  "arbor_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbor_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

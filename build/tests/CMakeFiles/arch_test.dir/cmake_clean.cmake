@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_test.dir/fpga/arch_test.cpp.o"
+  "CMakeFiles/arch_test.dir/fpga/arch_test.cpp.o.d"
+  "arch_test"
+  "arch_test.pdb"
+  "arch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brbc_test.dir/arbor/brbc_test.cpp.o"
+  "CMakeFiles/brbc_test.dir/arbor/brbc_test.cpp.o.d"
+  "brbc_test"
+  "brbc_test.pdb"
+  "brbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

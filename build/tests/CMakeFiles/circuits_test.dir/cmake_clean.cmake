@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_test.dir/experiments/circuits_test.cpp.o"
+  "CMakeFiles/circuits_test.dir/experiments/circuits_test.cpp.o.d"
+  "circuits_test"
+  "circuits_test.pdb"
+  "circuits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/congestion_test.cpp" "tests/CMakeFiles/congestion_test.dir/workload/congestion_test.cpp.o" "gcc" "tests/CMakeFiles/congestion_test.dir/workload/congestion_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fpr_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_arbor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fpr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_test.dir/workload/congestion_test.cpp.o"
+  "CMakeFiles/congestion_test.dir/workload/congestion_test.cpp.o.d"
+  "congestion_test"
+  "congestion_test.pdb"
+  "congestion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device3d_test.dir/fpga/device3d_test.cpp.o"
+  "CMakeFiles/device3d_test.dir/fpga/device3d_test.cpp.o.d"
+  "device3d_test"
+  "device3d_test.pdb"
+  "device3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

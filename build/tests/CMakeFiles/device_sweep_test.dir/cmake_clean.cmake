@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_sweep_test.dir/fpga/device_sweep_test.cpp.o"
+  "CMakeFiles/device_sweep_test.dir/fpga/device_sweep_test.cpp.o.d"
+  "device_sweep_test"
+  "device_sweep_test.pdb"
+  "device_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

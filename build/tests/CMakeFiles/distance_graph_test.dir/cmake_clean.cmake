@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_graph_test.dir/graph/distance_graph_test.cpp.o"
+  "CMakeFiles/distance_graph_test.dir/graph/distance_graph_test.cpp.o.d"
+  "distance_graph_test"
+  "distance_graph_test.pdb"
+  "distance_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djka_test.dir/arbor/djka_test.cpp.o"
+  "CMakeFiles/djka_test.dir/arbor/djka_test.cpp.o.d"
+  "djka_test"
+  "djka_test.pdb"
+  "djka_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dom_test.dir/arbor/dom_test.cpp.o"
+  "CMakeFiles/dom_test.dir/arbor/dom_test.cpp.o.d"
+  "dom_test"
+  "dom_test.pdb"
+  "dom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dominance_test.dir/arbor/dominance_test.cpp.o"
+  "CMakeFiles/dominance_test.dir/arbor/dominance_test.cpp.o.d"
+  "dominance_test"
+  "dominance_test.pdb"
+  "dominance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dominance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_gmst_test.dir/steiner/exact_gmst_test.cpp.o"
+  "CMakeFiles/exact_gmst_test.dir/steiner/exact_gmst_test.cpp.o.d"
+  "exact_gmst_test"
+  "exact_gmst_test.pdb"
+  "exact_gmst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_gmst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_gsa_test.dir/arbor/exact_gsa_test.cpp.o"
+  "CMakeFiles/exact_gsa_test.dir/arbor/exact_gsa_test.cpp.o.d"
+  "exact_gsa_test"
+  "exact_gsa_test.pdb"
+  "exact_gsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_gsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idom_test.dir/arbor/idom_test.cpp.o"
+  "CMakeFiles/idom_test.dir/arbor/idom_test.cpp.o.d"
+  "idom_test"
+  "idom_test.pdb"
+  "idom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

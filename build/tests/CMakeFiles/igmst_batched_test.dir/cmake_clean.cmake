@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igmst_batched_test.dir/steiner/igmst_batched_test.cpp.o"
+  "CMakeFiles/igmst_batched_test.dir/steiner/igmst_batched_test.cpp.o.d"
+  "igmst_batched_test"
+  "igmst_batched_test.pdb"
+  "igmst_batched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igmst_batched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

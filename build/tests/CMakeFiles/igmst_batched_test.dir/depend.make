@@ -1,0 +1,2 @@
+# Empty dependencies file for igmst_batched_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igmst_test.dir/steiner/igmst_test.cpp.o"
+  "CMakeFiles/igmst_test.dir/steiner/igmst_test.cpp.o.d"
+  "igmst_test"
+  "igmst_test.pdb"
+  "igmst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igmst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

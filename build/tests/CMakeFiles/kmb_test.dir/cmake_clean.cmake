@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmb_test.dir/steiner/kmb_test.cpp.o"
+  "CMakeFiles/kmb_test.dir/steiner/kmb_test.cpp.o.d"
+  "kmb_test"
+  "kmb_test.pdb"
+  "kmb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_routing_test.dir/router/mixed_routing_test.cpp.o"
+  "CMakeFiles/mixed_routing_test.dir/router/mixed_routing_test.cpp.o.d"
+  "mixed_routing_test"
+  "mixed_routing_test.pdb"
+  "mixed_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_test.dir/graph/mst_test.cpp.o"
+  "CMakeFiles/mst_test.dir/graph/mst_test.cpp.o.d"
+  "mst_test"
+  "mst_test.pdb"
+  "mst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_oracle_test.dir/graph/path_oracle_test.cpp.o"
+  "CMakeFiles/path_oracle_test.dir/graph/path_oracle_test.cpp.o.d"
+  "path_oracle_test"
+  "path_oracle_test.pdb"
+  "path_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfa_test.dir/arbor/pfa_test.cpp.o"
+  "CMakeFiles/pfa_test.dir/arbor/pfa_test.cpp.o.d"
+  "pfa_test"
+  "pfa_test.pdb"
+  "pfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_nets_test.dir/workload/random_nets_test.cpp.o"
+  "CMakeFiles/random_nets_test.dir/workload/random_nets_test.cpp.o.d"
+  "random_nets_test"
+  "random_nets_test.pdb"
+  "random_nets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_nets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_test.dir/router/router_test.cpp.o"
+  "CMakeFiles/router_test.dir/router/router_test.cpp.o.d"
+  "router_test"
+  "router_test.pdb"
+  "router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

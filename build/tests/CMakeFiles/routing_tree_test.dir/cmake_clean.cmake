@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_tree_test.dir/graph/routing_tree_test.cpp.o"
+  "CMakeFiles/routing_tree_test.dir/graph/routing_tree_test.cpp.o.d"
+  "routing_tree_test"
+  "routing_tree_test.pdb"
+  "routing_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoped_dijkstra_test.dir/graph/scoped_dijkstra_test.cpp.o"
+  "CMakeFiles/scoped_dijkstra_test.dir/graph/scoped_dijkstra_test.cpp.o.d"
+  "scoped_dijkstra_test"
+  "scoped_dijkstra_test.pdb"
+  "scoped_dijkstra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoped_dijkstra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steiner_properties_test.dir/steiner/steiner_properties_test.cpp.o"
+  "CMakeFiles/steiner_properties_test.dir/steiner/steiner_properties_test.cpp.o.d"
+  "steiner_properties_test"
+  "steiner_properties_test.pdb"
+  "steiner_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steiner_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchbox_test.dir/fpga/switchbox_test.cpp.o"
+  "CMakeFiles/switchbox_test.dir/fpga/switchbox_test.cpp.o.d"
+  "switchbox_test"
+  "switchbox_test.pdb"
+  "switchbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_test.dir/experiments/table1_test.cpp.o"
+  "CMakeFiles/table1_test.dir/experiments/table1_test.cpp.o.d"
+  "table1_test"
+  "table1_test.pdb"
+  "table1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

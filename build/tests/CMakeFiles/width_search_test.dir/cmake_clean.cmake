@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_search_test.dir/router/width_search_test.cpp.o"
+  "CMakeFiles/width_search_test.dir/router/width_search_test.cpp.o.d"
+  "width_search_test"
+  "width_search_test.pdb"
+  "width_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

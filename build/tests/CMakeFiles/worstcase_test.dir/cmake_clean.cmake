@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worstcase_test.dir/workload/worstcase_test.cpp.o"
+  "CMakeFiles/worstcase_test.dir/workload/worstcase_test.cpp.o.d"
+  "worstcase_test"
+  "worstcase_test.pdb"
+  "worstcase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worstcase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zelikovsky_test.dir/steiner/zelikovsky_test.cpp.o"
+  "CMakeFiles/zelikovsky_test.dir/steiner/zelikovsky_test.cpp.o.d"
+  "zelikovsky_test"
+  "zelikovsky_test.pdb"
+  "zelikovsky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zelikovsky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
