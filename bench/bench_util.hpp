@@ -5,12 +5,20 @@
 #include <cstring>
 #include <string>
 
+#include "core/parallel.hpp"
+
 namespace fpr::bench {
 
 /// FPR_FULL=1 enables the heaviest circuit sweeps.
 inline bool full_mode() {
   const char* env = std::getenv("FPR_FULL");
   return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+/// Prints the worker count the circuit sweeps will fan out over
+/// (FPR_THREADS override or hardware concurrency).
+inline void report_threads() {
+  std::printf("(threads: %d — set FPR_THREADS to override)\n", default_thread_count());
 }
 
 inline void banner(const std::string& title) {

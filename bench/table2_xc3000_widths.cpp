@@ -16,6 +16,7 @@ int main() {
   using namespace fpr;
   const bool full = bench::full_mode();
   bench::banner("Table 2 — minimum channel width, Xilinx 3000-series (Fs=6, Fc=0.6W)");
+  bench::report_threads();
 
   std::vector<CircuitProfile> profiles = xc3000_profiles();
   if (!full) {

@@ -14,6 +14,7 @@ int main() {
   using namespace fpr;
   const bool full = bench::full_mode();
   bench::banner("Table 3 — minimum channel width, Xilinx 4000-series (Fs=3, Fc=W)");
+  bench::report_threads();
 
   std::vector<CircuitProfile> profiles = xc4000_profiles();
   if (!full) {

@@ -14,6 +14,7 @@ int main() {
   using namespace fpr;
   const bool full = bench::full_mode();
   bench::banner("Table 4 — min channel width by tree algorithm (IKMB / PFA / IDOM)");
+  bench::report_threads();
 
   std::vector<CircuitProfile> profiles = xc4000_profiles();
   if (!full) {

@@ -15,6 +15,7 @@ int main() {
   using namespace fpr;
   const bool full = bench::full_mode();
   bench::banner("Table 5 — wirelength vs max-pathlength tradeoff at fixed width");
+  bench::report_threads();
 
   std::vector<CircuitProfile> profiles = xc4000_profiles();
   if (!full) {

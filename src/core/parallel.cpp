@@ -1,0 +1,146 @@
+#include "core/parallel.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+namespace fpr {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("FPR_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : size_(threads < 1 ? 1 : threads) {
+  if (size_ <= 1) return;
+  workers_.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  if (size_ <= 1) {
+    (*task)();
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (size_ <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = count;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < count; ++i) {
+      // `body` outlives the batch: this call only returns once
+      // batch->remaining hits zero, so capturing it by reference is safe.
+      queue_.emplace_back([batch, &body, i] {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> block(batch->mu);
+          if (!batch->error) batch->error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> block(batch->mu);
+          --batch->remaining;
+        }
+        batch->cv.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // Caller-helps wait: keep draining the queue so that nested
+  // parallel_for calls issued from worker threads always make progress.
+  for (;;) {
+    if (try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(batch->mu);
+    if (batch->remaining == 0) break;
+    batch->cv.wait_for(lock, std::chrono::milliseconds(2));
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+void run_parallel(int threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  const int n = threads > 0 ? threads : ThreadPool::shared().size();
+  if (n <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  if (threads <= 0 || n == ThreadPool::shared().size()) {
+    ThreadPool::shared().parallel_for(count, body);
+    return;
+  }
+  ThreadPool dedicated(n);
+  dedicated.parallel_for(count, body);
+}
+
+}  // namespace fpr

@@ -2,31 +2,39 @@
 
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "core/parallel.hpp"
 #include "netlist/synth.hpp"
 
 namespace fpr {
 
 Table4Result run_table4(std::span<const CircuitProfile> profiles, const Table4Options& options) {
   Table4Result result;
-  for (const CircuitProfile& profile : profiles) {
-    Table4Row row;
-    row.profile = profile;
+  result.rows.resize(profiles.size());
+  // Fan out over (circuit, algorithm) pairs — three independent width
+  // searches per profile — and write each measurement to its slot.
+  static constexpr Algorithm kAlgos[] = {Algorithm::kIkmb, Algorithm::kPfa, Algorithm::kIdom};
+  for (std::size_t i = 0; i < profiles.size(); ++i) result.rows[i].profile = profiles[i];
+  run_parallel(options.threads, profiles.size() * 3, [&](std::size_t task) {
+    const std::size_t i = task / 3;
+    const Algorithm algo = kAlgos[task % 3];
+    const CircuitProfile& profile = profiles[i];
     const Circuit circuit = synthesize_circuit(profile, options.seed);
     const ArchSpec base = arch_for(profile, ArchFamily::kXc4000);
     WidthSearchOptions search;
     search.max_width = options.max_width;
+    search.threads = options.threads == 1 ? 1 : 0;
 
-    const auto width_for = [&](Algorithm algo) {
-      RouterOptions router;
-      router.algorithm = algo;
-      router.max_passes = options.max_passes;
-      return find_min_channel_width(base, circuit, router, search).min_width;
-    };
-    row.ikmb = width_for(Algorithm::kIkmb);
-    row.pfa = width_for(Algorithm::kPfa);
-    row.idom = width_for(Algorithm::kIdom);
-    result.rows.push_back(row);
-  }
+    RouterOptions router;
+    router.algorithm = algo;
+    router.max_passes = options.max_passes;
+    const int width = find_min_channel_width(base, circuit, router, search).min_width;
+    Table4Row& row = result.rows[i];
+    switch (task % 3) {
+      case 0: row.ikmb = width; break;
+      case 1: row.pfa = width; break;
+      default: row.idom = width; break;
+    }
+  });
   return result;
 }
 
@@ -61,13 +69,17 @@ std::string render_table4(const Table4Result& result) {
 
 Table5Result run_table5(std::span<const CircuitProfile> profiles, const Table5Options& options) {
   Table5Result result;
-  RunningStat pfa_wire, idom_wire, pfa_path, idom_path;
-  for (std::size_t i = 0; i < profiles.size(); ++i) {
+
+  // Phase 1: route every circuit instance concurrently; rows land at their
+  // profile's index. Skipped profiles (no usable width) stay width <= 0.
+  std::vector<Table5Row> rows(profiles.size());
+  std::vector<char> in_average(profiles.size(), 0);
+  run_parallel(options.threads, profiles.size(), [&](std::size_t i) {
     const CircuitProfile& profile = profiles[i];
-    Table5Row row;
+    Table5Row& row = rows[i];
     row.profile = profile;
     row.width = i < options.widths.size() ? options.widths[i] : profile.paper_table5_width;
-    if (row.width <= 0) continue;
+    if (row.width <= 0) return;
 
     const Circuit circuit = synthesize_circuit(profile, options.seed);
     const ArchSpec arch = arch_for(profile, ArchFamily::kXc4000).with_width(row.width);
@@ -97,6 +109,17 @@ Table5Result run_table5(std::span<const CircuitProfile> profiles, const Table5Op
       row.idom_wire_pct = 100.0 * (idom.wire - ikmb.wire) / ikmb.wire;
       row.pfa_path_pct = 100.0 * (pfa.path - ikmb.path) / ikmb.path;
       row.idom_path_pct = 100.0 * (idom.path - ikmb.path) / ikmb.path;
+      in_average[i] = 1;
+    }
+  });
+
+  // Phase 2: collect rows and fold the averages serially, in profile order,
+  // so the floating-point accumulation matches a serial run exactly.
+  RunningStat pfa_wire, idom_wire, pfa_path, idom_path;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Table5Row& row = rows[i];
+    if (row.width <= 0) continue;
+    if (in_average[i]) {
       pfa_wire.add(row.pfa_wire_pct);
       idom_wire.add(row.idom_wire_pct);
       pfa_path.add(row.pfa_path_pct);

@@ -15,6 +15,10 @@ struct Table4Options {
   unsigned seed = 1995;
   int max_passes = 20;
   int max_width = 30;
+
+  /// Worker threads across (circuit, algorithm) width searches: 0 = shared
+  /// pool, 1 = serial, >= 2 = dedicated pool. Identical results regardless.
+  int threads = 0;
 };
 
 struct Table4Row {
@@ -38,6 +42,10 @@ struct Table5Options {
   int max_passes = 20;
   /// Per-circuit widths; empty = use the paper's Table 5 widths.
   std::vector<int> widths;
+
+  /// Worker threads across circuit instances: 0 = shared pool, 1 = serial,
+  /// >= 2 = dedicated pool. Identical results regardless.
+  int threads = 0;
 };
 
 struct Table5Row {

@@ -1,6 +1,7 @@
 #include "experiments/tables23.hpp"
 
 #include "analysis/table.hpp"
+#include "core/parallel.hpp"
 #include "netlist/synth.hpp"
 #include "router/baseline.hpp"
 
@@ -21,13 +22,21 @@ WidthExperimentResult run_width_experiment(std::span<const CircuitProfile> profi
                                            const WidthExperimentOptions& options) {
   WidthExperimentResult result;
   result.family = family;
-  for (const CircuitProfile& profile : profiles) {
+  result.rows.resize(profiles.size());
+  // Circuit instances are independent (own synthesized circuit, own
+  // devices), so the sweep fans out across the pool; rows land at their
+  // profile's index, keeping the output order identical to a serial run.
+  run_parallel(options.threads, profiles.size(), [&](std::size_t i) {
+    const CircuitProfile& profile = profiles[i];
     WidthRow row;
     row.profile = profile;
     const Circuit circuit = synthesize_circuit(profile, options.seed);
     const ArchSpec base = arch_for(profile, family);
     WidthSearchOptions search;
     search.max_width = options.max_width;
+    // Nested width-probe parallelism rides the shared pool (caller-helps
+    // scheduling); a serial sweep stays serial all the way down.
+    search.threads = options.threads == 1 ? 1 : 0;
 
     RouterOptions ours;
     ours.algorithm = options.algorithm;
@@ -41,8 +50,8 @@ WidthExperimentResult run_width_experiment(std::span<const CircuitProfile> profi
       baseline.max_passes = options.max_passes;
       row.baseline = find_min_channel_width(base, circuit, baseline, search).min_width;
     }
-    result.rows.push_back(std::move(row));
-  }
+    result.rows[i] = std::move(row);
+  });
   return result;
 }
 

@@ -25,6 +25,12 @@ struct WidthExperimentOptions {
   int max_width = 30;
   bool run_baseline = true;
   Algorithm algorithm = Algorithm::kIkmb;
+
+  /// Worker threads for the circuit sweep: 0 = shared pool (FPR_THREADS /
+  /// hardware default), 1 = serial, >= 2 = dedicated pool. Rows are
+  /// independent circuit instances, so the result is identical for every
+  /// value; only wall-clock time changes.
+  int threads = 0;
 };
 
 struct WidthRow {

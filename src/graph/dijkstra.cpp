@@ -45,12 +45,22 @@ ShortestPathTree dijkstra_impl(const Graph& g, NodeId source, std::span<const No
   std::vector<char> pending(targets.empty() ? 0 : n, 0);
   NodeId pending_count = 0;
   for (const NodeId v : targets) {
+    if (!g.node_active(v)) {
+      // A removed target can never be settled; counting it would keep
+      // pending_count above zero forever, the radius limit infinite, and
+      // silently degrade every scoped run to a full-graph Dijkstra.
+      ++t.inactive_targets;
+      continue;
+    }
     auto& flag = pending[static_cast<std::size_t>(v)];
     if (flag == 0 && v != source) {
       flag = 1;
       ++pending_count;
     }
   }
+  // With every target inactive (or coincident with the source) there is no
+  // settle event to derive a radius from: run explicitly unbounded, exactly
+  // like a plain dijkstra() call.
 
   using Entry = std::pair<Weight, NodeId>;  // (dist, node); node breaks ties
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;

@@ -24,6 +24,11 @@ struct ShortestPathTree {
   /// (not "unreachable").
   std::vector<char> settled;
 
+  /// Targets dijkstra_within skipped because they were deactivated — they
+  /// can never be settled, so they must not hold the radius limit open.
+  /// Nonzero values make that (previously silent) degradation observable.
+  int inactive_targets = 0;
+
   bool reached(NodeId v) const { return dist[static_cast<std::size_t>(v)] < kInfiniteWeight; }
 
   /// True when this tree can answer queries about v: either the run was
@@ -57,6 +62,9 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source);
 /// If the search exhausts the component anyway, the result is marked
 /// complete. Queries outside the settled set must consult knows() —
 /// PathOracle does this and transparently falls back to a full run.
+/// Deactivated targets are skipped (counted in inactive_targets) rather
+/// than left pending forever; if every target is inactive the run is
+/// unbounded, like dijkstra().
 ShortestPathTree dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
                                  double radius_factor = 1.3, Weight slack = 4.0);
 

@@ -7,10 +7,20 @@ namespace fpr {
 
 namespace {
 
+/// Undo record for commit_net: every wire node it consumed and every edge
+/// it charged the congestion penalty to (one entry per application, so an
+/// edge penalized through several siblings appears several times).
+struct CommitLog {
+  std::vector<NodeId> wires;
+  std::vector<EdgeId> penalized;
+};
+
 /// Commits a routed net: removes its wire nodes from the graph (electrical
 /// disjointness) and charges the congestion penalty to the edges of the
-/// remaining free wires in every channel tile the net touched.
-int commit_net(Device& device, const std::vector<EdgeId>& edges, double congestion_penalty) {
+/// remaining free wires in every channel tile the net touched. When `log`
+/// is given, records enough to invert the commit exactly.
+int commit_net(Device& device, const std::vector<EdgeId>& edges, double congestion_penalty,
+               CommitLog* log = nullptr) {
   Graph& g = device.graph();
   std::vector<NodeId> wires;
   for (const EdgeId e : edges) {
@@ -26,12 +36,29 @@ int commit_net(Device& device, const std::vector<EdgeId>& edges, double congesti
       for (const NodeId sibling : device.tile_siblings(w)) {
         if (!g.node_active(sibling)) continue;
         for (const EdgeId e : g.incident_edges(sibling)) {
-          if (g.edge_active(e)) g.add_edge_weight(e, congestion_penalty);
+          if (g.edge_active(e)) {
+            g.add_edge_weight(e, congestion_penalty);
+            if (log) log->penalized.push_back(e);
+          }
         }
       }
     }
   }
+  if (log) log->wires.insert(log->wires.end(), wires.begin(), wires.end());
   return static_cast<int>(wires.size());
+}
+
+/// Exact inverse of the commits recorded in `log`: subtracts every penalty
+/// delta and reactivates every consumed wire node, leaving the device as if
+/// the net had never been attempted.
+void rollback_commits(Device& device, const CommitLog& log, double congestion_penalty) {
+  Graph& g = device.graph();
+  for (auto it = log.penalized.rbegin(); it != log.penalized.rend(); ++it) {
+    g.add_edge_weight(*it, -congestion_penalty);
+  }
+  for (auto it = log.wires.rbegin(); it != log.wires.rend(); ++it) {
+    g.restore_node(*it);
+  }
 }
 
 /// Routes one net as a whole tree with the configured algorithm
@@ -60,16 +87,24 @@ TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
   Graph& g = device.graph();
   TwoPinOutcome out;
   std::vector<EdgeId> all_edges;
+  CommitLog log;
   for (const NodeId sink : net.sinks) {
     const auto spt = dijkstra(g, net.source);
-    if (!spt.reached(sink)) return out;  // leaves out.routed == false
+    if (!spt.reached(sink)) {
+      // A later sink failed after earlier sinks already consumed wires and
+      // charged congestion: the whole net fails, so give those resources
+      // back — otherwise the dead net starves every net after it for the
+      // rest of the pass.
+      rollback_commits(device, log, congestion_penalty);
+      return TwoPinOutcome{};  // routed == false, zero wires held
+    }
     const auto path = spt.path_edges_to(sink);
     out.max_pathlength = std::max(out.max_pathlength, spt.distance(sink));
     out.physical_max_path = std::max(out.physical_max_path, static_cast<int>(path.size()));
     out.wirelength += spt.distance(sink);
     all_edges.insert(all_edges.end(), path.begin(), path.end());
     // Consume immediately so the next connection cannot share wires.
-    out.wire_nodes_used += commit_net(device, path, congestion_penalty);
+    out.wire_nodes_used += commit_net(device, path, congestion_penalty, &log);
   }
   out.routed = true;
   out.edges = std::move(all_edges);

@@ -1,37 +1,161 @@
 #include "router/width_search.hpp"
 
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/parallel.hpp"
+
 namespace fpr {
+
+namespace {
+
+/// Replays the serial binary-search decision sequence over memoized
+/// per-width outcomes, recording attempts in the serial order. Returns
+/// false (leaving `result` half-filled) when it reaches a width the memo
+/// does not know yet; the caller then routes more widths and retries.
+bool replay_serial_search(const std::map<int, RoutingResult>& memo, int lo0, int hi,
+                          WidthSearchResult& result) {
+  result.attempts.clear();
+  result.min_width = -1;
+  auto it = memo.find(hi);
+  if (it == memo.end()) return false;
+  result.attempts.emplace_back(hi, it->second.success);
+  if (!it->second.success) return true;  // unroutable even at the widest device
+  int cur = hi;
+  int lo = lo0;
+  while (lo < cur) {
+    const int mid = lo + (cur - lo) / 2;
+    it = memo.find(mid);
+    if (it == memo.end()) return false;
+    result.attempts.emplace_back(mid, it->second.success);
+    if (it->second.success) {
+      cur = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.min_width = cur;
+  return true;
+}
+
+/// Widths the serial search could probe next, given what `memo` already
+/// knows: BFS over the binary search's two-outcome decision tree, following
+/// known branches silently and emitting unknown widths, up to `limit`
+/// candidates. BFS order front-loads the probes nearest the serial path, so
+/// a wave of `limit` threads covers the next ~log2(limit) serial decisions
+/// in one concurrent round.
+std::vector<int> speculate_widths(const std::map<int, RoutingResult>& memo, int lo0, int hi,
+                                  std::size_t limit) {
+  struct Interval {
+    int lo, cur;  // cur assumed-routable; widths below lo assumed-failing
+  };
+  std::vector<int> out;
+  std::set<int> emitted;
+  std::deque<Interval> frontier;
+
+  const auto top = memo.find(hi);
+  if (top == memo.end()) {
+    out.push_back(hi);
+    emitted.insert(hi);
+    frontier.push_back({lo0, hi});  // the hi-fails branch ends the search
+  } else if (!top->second.success) {
+    return out;  // search already decided: unroutable
+  } else {
+    frontier.push_back({lo0, hi});
+  }
+
+  while (!frontier.empty() && out.size() < limit) {
+    const Interval s = frontier.front();
+    frontier.pop_front();
+    if (s.lo >= s.cur) continue;  // this branch's search has terminated
+    const int mid = s.lo + (s.cur - s.lo) / 2;
+    const auto known = memo.find(mid);
+    if (known != memo.end()) {
+      frontier.push_back(known->second.success ? Interval{s.lo, mid}
+                                               : Interval{mid + 1, s.cur});
+      continue;
+    }
+    if (emitted.insert(mid).second) out.push_back(mid);
+    frontier.push_back({s.lo, mid});
+    frontier.push_back({mid + 1, s.cur});
+  }
+  return out;
+}
+
+}  // namespace
 
 WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& circuit,
                                          const RouterOptions& router_options,
                                          const WidthSearchOptions& search_options) {
   WidthSearchResult result;
-  auto try_width = [&](int w) -> RoutingResult {
+  const int lo0 = std::max(search_options.min_width, 1);
+  const int hi = search_options.max_width;
+  if (hi < 1 || lo0 > hi) return result;  // degenerate range: nothing to probe
+
+  const auto route_width = [&](int w) -> RoutingResult {
     Device device(base.with_width(w));
-    RoutingResult r = route_circuit(device, circuit, router_options);
-    result.attempts.emplace_back(w, r.success);
-    return r;
+    return route_circuit(device, circuit, router_options);
   };
 
-  int hi = search_options.max_width;
-  RoutingResult at_hi = try_width(hi);
-  if (!at_hi.success) return result;  // unroutable even at the widest device
-  result.min_width = hi;
-  result.at_min_width = std::move(at_hi);
+  const int threads =
+      search_options.threads > 0 ? search_options.threads : ThreadPool::shared().size();
 
-  int lo = search_options.min_width;
-  // Invariant: `result.min_width` routes; everything below `lo` untested or
-  // known to fail.
-  while (lo < result.min_width) {
-    const int mid = lo + (result.min_width - lo) / 2;
-    RoutingResult r = try_width(mid);
-    if (r.success) {
-      result.min_width = mid;
-      result.at_min_width = std::move(r);
-    } else {
-      lo = mid + 1;
+  if (threads <= 1) {
+    // Serial reference path — the contract the parallel path reproduces.
+    auto try_width = [&](int w) -> RoutingResult {
+      RoutingResult r = route_width(w);
+      result.attempts.emplace_back(w, r.success);
+      return r;
+    };
+    RoutingResult at_hi = try_width(hi);
+    if (!at_hi.success) return result;  // unroutable even at the widest device
+    result.min_width = hi;
+    result.at_min_width = std::move(at_hi);
+    int lo = lo0;
+    // Invariant: `result.min_width` routes; everything below `lo` untested
+    // or known to fail.
+    while (lo < result.min_width) {
+      const int mid = lo + (result.min_width - lo) / 2;
+      RoutingResult r = try_width(mid);
+      if (r.success) {
+        result.min_width = mid;
+        result.at_min_width = std::move(r);
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return result;
+  }
+
+  // Speculative parallel search: route waves of candidate widths
+  // concurrently (one Device per probe, no shared router state), memoize
+  // the per-width outcomes — deterministic functions of the width — and
+  // replay the serial decision sequence over the memo. Monotone
+  // routability makes most speculative probes useful; the replay keeps the
+  // recorded trace and the chosen width bit-identical to the serial path
+  // regardless.
+  ThreadPool* pool = &ThreadPool::shared();
+  std::unique_ptr<ThreadPool> dedicated;
+  if (pool->size() != threads) {
+    dedicated = std::make_unique<ThreadPool>(threads);
+    pool = dedicated.get();
+  }
+
+  std::map<int, RoutingResult> memo;
+  while (!replay_serial_search(memo, lo0, hi, result)) {
+    const std::vector<int> widths =
+        speculate_widths(memo, lo0, hi, static_cast<std::size_t>(threads));
+    std::vector<RoutingResult> outcomes(widths.size());
+    pool->parallel_for(widths.size(),
+                       [&](std::size_t i) { outcomes[i] = route_width(widths[i]); });
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      memo.emplace(widths[i], std::move(outcomes[i]));
     }
   }
+  if (result.min_width > 0) result.at_min_width = std::move(memo.at(result.min_width));
   return result;
 }
 

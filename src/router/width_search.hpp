@@ -10,6 +10,12 @@ namespace fpr {
 struct WidthSearchOptions {
   int min_width = 2;
   int max_width = 30;
+
+  /// Worker threads for speculative probing: 0 = the shared pool
+  /// (FPR_THREADS / hardware default), 1 = serial, >= 2 = a dedicated pool
+  /// of that size. Whatever the value, the result is identical (see the
+  /// attempts contract below); threads only change wall-clock time.
+  int threads = 0;
 };
 
 /// Result of the minimum-channel-width search — the quality measure the
@@ -27,6 +33,23 @@ struct WidthSearchResult {
 /// over [min_width, max_width] after confirming the upper end routes.
 /// `base` supplies the architecture family (switch pattern, Fc rule); its
 /// own channel_width is ignored.
+///
+/// **Attempts-ordering contract.** `attempts` records exactly the probes a
+/// serial binary search performs, in its order: `max_width` first, then the
+/// midpoint sequence `mid = lo + (cur_min - lo) / 2` with `cur_min`
+/// shrinking on success and `lo` rising on failure, until `lo == cur_min`.
+/// The parallel implementation speculates additional widths concurrently
+/// (each probe routes on its own Device, so per-width outcomes are
+/// deterministic), but replays the serial decision sequence over the
+/// memoized outcomes: `min_width`, `at_min_width`, and `attempts` are
+/// bit-identical in content to the serial search for every thread count.
+/// Speculative probes that the serial search would not have made are NOT
+/// recorded.
+///
+/// Degenerate ranges are guarded: `min_width` is clamped up to 1, and an
+/// empty range (`min_width > max_width` after clamping, or
+/// `max_width < 1`) returns `{min_width = -1}` with no attempts instead of
+/// probing nonsensical widths.
 WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& circuit,
                                          const RouterOptions& router_options,
                                          const WidthSearchOptions& search_options = {});

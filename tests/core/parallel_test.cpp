@@ -1,0 +1,79 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace fpr {
+namespace {
+
+TEST(ParallelTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_thread_count(), 1);
+  EXPECT_GE(ThreadPool::shared().size(), 1);
+}
+
+TEST(ParallelTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 200;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, InlinePoolRunsInIndexOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelTest, SubmitDeliversThroughFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto fut = pool.submit([&] { value.store(42); });
+  fut.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ParallelTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(12,
+                        [&](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 11);  // the other indices still ran
+}
+
+TEST(ParallelTest, NestedParallelForOnSamePoolCompletes) {
+  // A harness task fanning a width search out on the same pool must not
+  // deadlock: blocked waiters help drain the queue.
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ParallelTest, RunParallelCoversAllModes) {
+  for (const int threads : {1, 2, 5}) {
+    std::vector<std::atomic<int>> hits(50);
+    run_parallel(threads, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpr

@@ -105,6 +105,87 @@ TEST(Table5Test, DeltasHaveTheRightSigns) {
   EXPECT_LE(row.idom_path_pct, 1e-9);
 }
 
+TEST(WidthExperimentTest, ParallelSweepMatchesSerial) {
+  // The circuit sweep must produce identical rows however it is scheduled:
+  // serial, or fanned out over a pool (with nested parallel width probes).
+  CircuitProfile small = toy_profile();
+  small.name = "toy-small";
+  small.rows = small.cols = 5;
+  small.nets_2_3 = 12;
+  small.nets_4_10 = 3;
+  const std::vector<CircuitProfile> profiles{toy_profile(), small};
+
+  WidthExperimentOptions serial;
+  serial.seed = 11;
+  serial.max_passes = 4;
+  serial.max_width = 10;
+  serial.threads = 1;
+  WidthExperimentOptions parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = run_width_experiment(profiles, ArchFamily::kXc4000, serial);
+  const auto b = run_width_experiment(profiles, ArchFamily::kXc4000, parallel);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].ours, b.rows[i].ours) << i;
+    EXPECT_EQ(a.rows[i].baseline, b.rows[i].baseline) << i;
+    EXPECT_EQ(a.rows[i].ours_at_min.total_wirelength,
+              b.rows[i].ours_at_min.total_wirelength)
+        << i;
+  }
+  EXPECT_EQ(render_width_experiment(a), render_width_experiment(b));
+}
+
+TEST(Table4Test, ParallelSweepMatchesSerial) {
+  CircuitProfile small = toy_profile();
+  small.name = "toy-small";
+  small.rows = small.cols = 5;
+  small.nets_2_3 = 12;
+  small.nets_4_10 = 3;
+  const std::vector<CircuitProfile> profiles{toy_profile(), small};
+
+  Table4Options serial;
+  serial.seed = 13;
+  serial.max_passes = 4;
+  serial.max_width = 10;
+  serial.threads = 1;
+  Table4Options parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = run_table4(profiles, serial);
+  const auto b = run_table4(profiles, parallel);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].ikmb, b.rows[i].ikmb) << i;
+    EXPECT_EQ(a.rows[i].pfa, b.rows[i].pfa) << i;
+    EXPECT_EQ(a.rows[i].idom, b.rows[i].idom) << i;
+  }
+}
+
+TEST(Table5Test, ParallelSweepMatchesSerial) {
+  CircuitProfile small = toy_profile();
+  small.name = "toy-small";
+  small.rows = small.cols = 5;
+  small.nets_2_3 = 12;
+  small.nets_4_10 = 3;
+  const std::vector<CircuitProfile> profiles{toy_profile(), small};
+
+  Table5Options serial;
+  serial.seed = 13;
+  serial.max_passes = 4;
+  serial.widths = {7, 7};
+  serial.threads = 1;
+  Table5Options parallel = serial;
+  parallel.threads = 4;
+
+  const auto a = run_table5(profiles, serial);
+  const auto b = run_table5(profiles, parallel);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(render_table5(a), render_table5(b));
+  EXPECT_DOUBLE_EQ(a.avg_pfa_wire, b.avg_pfa_wire);
+  EXPECT_DOUBLE_EQ(a.avg_idom_path, b.avg_idom_path);
+}
+
 TEST(Table5Test, RenderIncludesAverages) {
   Table5Options options;
   options.seed = 13;

@@ -52,6 +52,38 @@ TEST(ScopedDijkstraTest, UnreachableTargetForcesFullExploration) {
   EXPECT_TRUE(t.knows(3));  // complete runs know unreachability for certain
 }
 
+TEST(ScopedDijkstraTest, InactiveTargetStillStopsEarly) {
+  // Regression: a removed target used to sit in the pending set forever,
+  // keeping the radius limit infinite and silently degrading every scoped
+  // run to a full-graph Dijkstra.
+  GridGraph grid(40, 40);
+  const NodeId dead = grid.node_at(2, 2);
+  grid.graph().remove_node(dead);
+  const std::vector<NodeId> targets{grid.node_at(1, 0), grid.node_at(0, 1), dead};
+  const auto t = dijkstra_within(grid.graph(), grid.node_at(0, 0), targets);
+  EXPECT_EQ(t.inactive_targets, 1);
+  EXPECT_FALSE(t.complete());  // still bounded: the live targets set the radius
+  EXPECT_FALSE(t.knows(grid.node_at(39, 39)));
+  for (const NodeId v : {grid.node_at(1, 0), grid.node_at(0, 1)}) {
+    EXPECT_TRUE(t.knows(v));
+    EXPECT_TRUE(t.reached(v));
+  }
+}
+
+TEST(ScopedDijkstraTest, AllInactiveTargetsRunUnbounded) {
+  // With no live target there is no radius to derive; the run is explicitly
+  // unbounded and exhausts the component, like plain dijkstra().
+  GridGraph grid(10, 10);
+  const NodeId dead = grid.node_at(5, 5);
+  grid.graph().remove_node(dead);
+  const std::vector<NodeId> targets{dead};
+  const auto t = dijkstra_within(grid.graph(), grid.node_at(0, 0), targets);
+  EXPECT_EQ(t.inactive_targets, 1);
+  EXPECT_TRUE(t.complete());
+  EXPECT_FALSE(t.reached(dead));
+  EXPECT_TRUE(t.reached(grid.node_at(9, 9)));
+}
+
 TEST(PathOracleScopeTest, ScopedDistanceMatchesUnscoped) {
   GridGraph grid(25, 25);
   PathOracle scoped(grid.graph());

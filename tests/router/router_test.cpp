@@ -148,6 +148,50 @@ TEST(RouterTest, TrivialSameBlockNetAlwaysRoutes) {
   EXPECT_TRUE(r.nets[0].edges.empty());
 }
 
+TEST(RouterTest, FailedDecomposedNetRollsBackItsWires) {
+  // At W=1 a block has exactly four adjacent wire segments, so two-pin
+  // decomposition of a five-sink net must fail on a later sink after the
+  // earlier connections already consumed wires. The failed net's partial
+  // commit must be rolled back: the device ends exactly as before the net
+  // was attempted.
+  Device device(ArchSpec::xc4000(4, 4, 1));
+  Circuit c;
+  c.rows = c.cols = 4;
+  c.nets.push_back({{1, 1}, {{3, 3}, {0, 3}, {3, 0}, {2, 2}, {0, 0}}});
+  RouterOptions options;
+  options.decompose_two_pin = true;
+  options.max_passes = 1;
+  const Weight base_weight = device.graph().mean_active_edge_weight();
+  const RoutingResult r = route_circuit(device, c, options);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.nets[0].routed);
+  EXPECT_EQ(device.used_wire_count(), 0);  // every consumed wire reclaimed
+  // Congestion penalties charged by the partial commit are undone too.
+  EXPECT_DOUBLE_EQ(device.graph().mean_active_edge_weight(), base_weight);
+}
+
+TEST(RouterTest, DecomposedWireAccountingMatchesDevice) {
+  // Invariant across a mixed success/failure pass: the wires the device
+  // holds consumed are exactly the ones the routed nets account for —
+  // failed nets contribute nothing (no partial-commit leak).
+  Device device(ArchSpec::xc4000(4, 4, 1));
+  Circuit c;
+  c.rows = c.cols = 4;
+  c.nets.push_back({{0, 0}, {{0, 1}}});
+  c.nets.push_back({{1, 1}, {{3, 3}, {0, 3}, {3, 0}, {2, 2}, {0, 2}}});
+  c.nets.push_back({{3, 1}, {{2, 3}}});
+  RouterOptions options;
+  options.decompose_two_pin = true;
+  options.max_passes = 2;
+  const RoutingResult r = route_circuit(device, c, options);
+  EXPECT_FALSE(r.success);
+  int accounted = 0;
+  for (const auto& net : r.nets) {
+    if (net.routed) accounted += net.wire_nodes_used;
+  }
+  EXPECT_EQ(device.used_wire_count(), accounted);
+}
+
 TEST(RouterTest, CongestionPenaltyRaisesRemainingWeights) {
   Device device(ArchSpec::xc4000(4, 4, 3));
   Circuit c;

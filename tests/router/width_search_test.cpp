@@ -62,6 +62,79 @@ TEST(WidthSearchTest, AttemptTraceIsBinarySearchSized) {
   EXPECT_LE(result.attempts.size(), 6u);
 }
 
+TEST(WidthSearchTest, DegenerateRangesAreGuarded) {
+  const ArchSpec base = ArchSpec::xc4000(4, 4, 1);
+  RouterOptions router;
+  router.max_passes = 3;
+
+  WidthSearchOptions inverted;
+  inverted.min_width = 5;
+  inverted.max_width = 2;
+  auto r = find_min_channel_width(base, crossing_circuit(2), router, inverted);
+  EXPECT_EQ(r.min_width, -1);
+  EXPECT_TRUE(r.attempts.empty());  // no nonsensical widths probed
+
+  WidthSearchOptions zero_max;
+  zero_max.min_width = 1;
+  zero_max.max_width = 0;
+  r = find_min_channel_width(base, crossing_circuit(2), router, zero_max);
+  EXPECT_EQ(r.min_width, -1);
+  EXPECT_TRUE(r.attempts.empty());
+
+  // min_width < 1 clamps to 1: same trace as an explicit min_width = 1.
+  WidthSearchOptions negative;
+  negative.min_width = -7;
+  negative.max_width = 8;
+  WidthSearchOptions one;
+  one.min_width = 1;
+  one.max_width = 8;
+  const auto clamped = find_min_channel_width(base, crossing_circuit(2), router, negative);
+  const auto reference = find_min_channel_width(base, crossing_circuit(2), router, one);
+  EXPECT_EQ(clamped.min_width, reference.min_width);
+  EXPECT_EQ(clamped.attempts, reference.attempts);
+}
+
+TEST(WidthSearchTest, ParallelMatchesSerialExactly) {
+  // The speculative parallel search must reproduce the serial search
+  // bit-identically: same min_width, same attempts trace (order included),
+  // same per-net routing in the result at the minimum width.
+  const ArchSpec base = ArchSpec::xc4000(4, 4, 1);
+  struct Case {
+    Circuit circuit;
+    int max_width;
+  };
+  const std::vector<Case> cases{
+      {crossing_circuit(6), 8},
+      {crossing_circuit(4), 16},
+      {crossing_circuit(3), 11},
+  };
+  RouterOptions router;
+  router.max_passes = 5;
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    WidthSearchOptions serial_opts;
+    serial_opts.max_width = cases[ci].max_width;
+    serial_opts.threads = 1;
+    const auto serial = find_min_channel_width(base, cases[ci].circuit, router, serial_opts);
+    for (const int threads : {2, 4, 8}) {
+      WidthSearchOptions parallel_opts = serial_opts;
+      parallel_opts.threads = threads;
+      const auto parallel =
+          find_min_channel_width(base, cases[ci].circuit, router, parallel_opts);
+      SCOPED_TRACE("case " + std::to_string(ci) + " threads " + std::to_string(threads));
+      EXPECT_EQ(parallel.min_width, serial.min_width);
+      EXPECT_EQ(parallel.attempts, serial.attempts);
+      EXPECT_EQ(parallel.at_min_width.success, serial.at_min_width.success);
+      EXPECT_EQ(parallel.at_min_width.passes, serial.at_min_width.passes);
+      EXPECT_EQ(parallel.at_min_width.total_wirelength, serial.at_min_width.total_wirelength);
+      ASSERT_EQ(parallel.at_min_width.nets.size(), serial.at_min_width.nets.size());
+      for (std::size_t n = 0; n < serial.at_min_width.nets.size(); ++n) {
+        EXPECT_EQ(parallel.at_min_width.nets[n].routed, serial.at_min_width.nets[n].routed);
+        EXPECT_EQ(parallel.at_min_width.nets[n].edges, serial.at_min_width.nets[n].edges);
+      }
+    }
+  }
+}
+
 TEST(WidthSearchTest, MonotoneOnSyntheticCircuit) {
   // The minimum width found must route, and every wider device must too.
   const auto& profile = xc4000_profiles()[2];  // term1
