@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/parallel.hpp"
 
@@ -25,6 +28,136 @@ inline void banner(const std::string& title) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==============================================================\n");
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output: every bench accepts `--json <path>` and, when
+// given, writes its measurements as a JSON document so runs accumulate into
+// a perf trajectory (e.g. BENCH_dijkstra.json) instead of evaporating in a
+// terminal scrollback.
+// ---------------------------------------------------------------------------
+
+/// The value after a `--json` flag, or nullptr when absent. Exits with a
+/// usage message on a dangling flag so a typo'd invocation cannot silently
+/// drop the record.
+inline const char* json_output_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+/// Minimal ordered JSON object/array builder — enough for flat bench
+/// records with nested row arrays; no external dependency.
+class Json {
+ public:
+  static Json object() { return Json('{', '}'); }
+  static Json array() { return Json('[', ']'); }
+
+  // Object fields (key + value). Non-finite doubles render as null.
+  Json& field(const std::string& key, double v) { return raw_field(key, number(v)); }
+  Json& field(const std::string& key, long long v) { return raw_field(key, std::to_string(v)); }
+  Json& field(const std::string& key, int v) { return raw_field(key, std::to_string(v)); }
+  Json& field(const std::string& key, bool v) { return raw_field(key, v ? "true" : "false"); }
+  Json& field(const std::string& key, const std::string& v) {
+    return raw_field(key, quote(v));
+  }
+  Json& field(const std::string& key, const char* v) { return raw_field(key, quote(v)); }
+  Json& field(const std::string& key, const Json& v) { return raw_field(key, v.dump()); }
+
+  // Array elements.
+  Json& element(const Json& v) { return raw_element(v.dump()); }
+  Json& element(double v) { return raw_element(number(v)); }
+  Json& element(const std::string& v) { return raw_element(quote(v)); }
+
+  /// Renders with 2-space indentation and a trailing newline at top level.
+  std::string dump() const {
+    std::string out;
+    out += open_;
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += indent(parts_[i]);
+    }
+    if (!parts_.empty()) out += "\n";
+    out += close_;
+    return out;
+  }
+
+ private:
+  Json(char open, char close) : open_(open), close_(close) {}
+
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string indent(const std::string& body) {
+    std::string out = "  ";
+    for (const char c : body) {
+      out += c;
+      if (c == '\n') out += "  ";
+    }
+    return out;
+  }
+
+  Json& raw_field(const std::string& key, const std::string& rendered) {
+    parts_.push_back(quote(key) + ": " + rendered);
+    return *this;
+  }
+
+  Json& raw_element(std::string rendered) {
+    parts_.push_back(std::move(rendered));
+    return *this;
+  }
+
+  char open_, close_;
+  std::vector<std::string> parts_;
+};
+
+/// Writes `json` to `path` (plus trailing newline); prints the destination
+/// or a failure message. Returns success.
+inline bool write_json(const char* path, const Json& json) {
+  if (path == nullptr) return false;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return false;
+  }
+  const std::string text = json.dump() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (ok) std::printf("(json record written to %s)\n", path);
+  return ok;
 }
 
 }  // namespace fpr::bench

@@ -1,0 +1,244 @@
+// Microbench of the shortest-path hot path: the CSR/arena/4-ary-heap engine
+// versus the frozen pre-change engine (graph/dijkstra_reference.hpp), on
+// repeated single-source runs over Table 1's grid substrates at the paper's
+// congestion levels (none/low/medium), a random graph, and radius-bounded
+// scoped runs.
+//
+// Both engines produce bit-identical dist arrays (checksummed here; pinned
+// exhaustively by tests/graph/dijkstra_differential_test.cpp), so the
+// timings compare identical work.
+//
+// Writes a machine-readable record (default BENCH_dijkstra.json, override
+// with --json <path>) — the start of the repo's perf trajectory.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/dijkstra_reference.hpp"
+#include "graph/grid.hpp"
+#include "workload/congestion_model.hpp"
+
+namespace {
+
+using namespace fpr;
+
+struct Case {
+  std::string name;
+  Graph graph;
+  std::vector<NodeId> targets;  // non-empty => scoped dijkstra_within runs
+};
+
+struct Measurement {
+  double ref_ns = 0;        // frozen engine, per run
+  double new_ns = 0;        // current engine, reuse overload, per run
+  double new_alloc_ns = 0;  // current engine, fresh tree per run
+  long long runs = 0;
+  double speedup = 0;  // ref_ns / new_ns
+};
+
+/// Times `body(i)` for adaptively many iterations (>= min_seconds of total
+/// wall time after one warmup sweep) and returns ns per iteration.
+double time_per_run(const std::function<void(int)>& body, int batch, double min_seconds,
+                    long long& runs_out) {
+  for (int i = 0; i < batch; ++i) body(i);  // warmup: touch arenas, caches
+  long long runs = 0;
+  double elapsed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (elapsed < min_seconds) {
+    for (int i = 0; i < batch; ++i) body(i);
+    runs += batch;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  runs_out = runs;
+  return 1e9 * elapsed / static_cast<double>(runs);
+}
+
+Measurement measure_case(const Case& c, double min_seconds) {
+  const Graph& g = c.graph;
+  const NodeId n = g.node_count();
+  const auto source_of = [n](int i) { return static_cast<NodeId>((i * 37) % n); };
+
+  // Equal-work guard: the two engines must agree exactly on every source
+  // the timing loop will visit.
+  ShortestPathTree reused;
+  for (int i = 0; i < 64; ++i) {
+    const NodeId s = source_of(i);
+    if (c.targets.empty()) {
+      dijkstra(g, s, reused);
+      const auto ref = reference::dijkstra(g, s);
+      if (reused.dist != ref.dist) {
+        std::fprintf(stderr, "FATAL: engines disagree on %s source %d\n", c.name.c_str(), s);
+        std::exit(1);
+      }
+    } else {
+      dijkstra_within(g, s, c.targets, reused);
+      const auto ref = reference::dijkstra_within(g, s, c.targets);
+      if (reused.dist != ref.dist) {
+        std::fprintf(stderr, "FATAL: engines disagree on %s source %d\n", c.name.c_str(), s);
+        std::exit(1);
+      }
+    }
+  }
+
+  // The pre-pass above asserted full bitwise equality; the timed bodies
+  // only need a cheap data dependency so the runs cannot be optimized out.
+  Measurement m;
+  volatile double sink = 0;
+  const int batch = 64;
+
+  long long runs = 0;
+  m.ref_ns = time_per_run(
+      [&](int i) {
+        const auto t = c.targets.empty()
+                           ? reference::dijkstra(g, source_of(i))
+                           : reference::dijkstra_within(g, source_of(i), c.targets);
+        sink = sink + t.dist.back();
+      },
+      batch, min_seconds, runs);
+
+  m.new_ns = time_per_run(
+      [&](int i) {
+        if (c.targets.empty()) {
+          dijkstra(g, source_of(i), reused);
+        } else {
+          dijkstra_within(g, source_of(i), c.targets, reused);
+        }
+        sink = sink + reused.dist.back();
+      },
+      batch, min_seconds, m.runs);
+
+  m.new_alloc_ns = time_per_run(
+      [&](int i) {
+        const auto t = c.targets.empty() ? dijkstra(g, source_of(i))
+                                         : dijkstra_within(g, source_of(i), c.targets);
+        sink = sink + t.dist.back();
+      },
+      batch, min_seconds, runs);
+
+  m.speedup = m.ref_ns / m.new_ns;
+  return m;
+}
+
+/// The paper's Table 1 substrate at a given congestion level: a unit-weight
+/// grid with k pre-routed KMB nets whose tree edges were incremented
+/// (src/workload/congestion_model). `nets_at_20x20` is the paper's k for a
+/// 20x20 grid (10 = low, 20 = medium); it scales with area so larger grids
+/// see the same edge load as the paper's at that level.
+Graph congested_grid(int side, int nets_at_20x20, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  const int k = nets_at_20x20 * side * side / 400;
+  return make_congested_grid(side, side, k, rng).graph();
+}
+
+Graph random_graph(NodeId nodes, EdgeId extra, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  Graph g(nodes);
+  std::uniform_int_distribution<int> w(1, 10);
+  for (NodeId i = 1; i < nodes; ++i) {
+    std::uniform_int_distribution<NodeId> pred(0, i - 1);
+    g.add_edge(i, pred(rng), w(rng));
+  }
+  std::uniform_int_distribution<NodeId> any(0, nodes - 1);
+  for (EdgeId added = 0; added < extra;) {
+    const NodeId u = any(rng), v = any(rng);
+    if (u == v) continue;
+    g.add_edge(u, v, w(rng));
+    ++added;
+  }
+  return g;
+}
+
+std::string iso_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpr;
+  bench::banner(
+      "micro_dijkstra — repeated single-source shortest paths\n"
+      "CSR/arena/4-ary-heap engine vs the frozen pre-change engine");
+
+  const char* json_path = bench::json_output_path(argc, argv);
+  const char* default_path = "BENCH_dijkstra.json";
+  if (json_path == nullptr) json_path = default_path;
+
+  // FPR_FULL=1 lengthens each timing window for a quieter measurement.
+  const double min_seconds = bench::full_mode() ? 1.0 : 0.25;
+
+  std::vector<Case> cases;
+  {
+    GridGraph g30(30, 30);
+    cases.push_back({"grid30_uncongested", g30.graph(), {}});
+    cases.push_back({"grid30_congested_low", congested_grid(30, 10, 1995), {}});
+    cases.push_back({"grid30_congested_med", congested_grid(30, 20, 1995), {}});
+    GridGraph g60(60, 60);
+    cases.push_back({"grid60_uncongested", g60.graph(), {}});
+    cases.push_back({"grid60_congested_med", congested_grid(60, 20, 1996), {}});
+    cases.push_back({"random1500", random_graph(1500, 3000, 1995), {}});
+    Graph g40 = congested_grid(40, 20, 1997);
+    GridGraph coords(40, 40);
+    std::vector<NodeId> targets;
+    for (int i = 0; i < 8; ++i) targets.push_back(coords.node_at(3 + 2 * i, 5 + i));
+    cases.push_back({"grid40_congested_scoped8", std::move(g40), targets});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  TextTable table({"Case", "V", "E", "old ns/run", "new ns/run", "new+alloc", "speedup"});
+  bench::Json rows = bench::Json::array();
+  double log_speedup_sum = 0;
+  for (const Case& c : cases) {
+    const Measurement m = measure_case(c, min_seconds);
+    log_speedup_sum += std::log(m.speedup);
+    char speedup[16];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", m.speedup);
+    table.add_row({c.name, std::to_string(c.graph.node_count()),
+                   std::to_string(c.graph.edge_count()),
+                   std::to_string(static_cast<long long>(m.ref_ns)),
+                   std::to_string(static_cast<long long>(m.new_ns)),
+                   std::to_string(static_cast<long long>(m.new_alloc_ns)), speedup});
+    rows.element(bench::Json::object()
+                     .field("case", c.name)
+                     .field("nodes", static_cast<long long>(c.graph.node_count()))
+                     .field("edges", static_cast<long long>(c.graph.edge_count()))
+                     .field("scoped", !c.targets.empty())
+                     .field("runs", m.runs)
+                     .field("ref_ns_per_run", m.ref_ns)
+                     .field("new_ns_per_run", m.new_ns)
+                     .field("new_alloc_ns_per_run", m.new_alloc_ns)
+                     .field("speedup", m.speedup));
+  }
+  const double geomean =
+      std::exp(log_speedup_sum / static_cast<double>(cases.size()));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::printf("%s", table.render().c_str());
+  std::printf("\ngeomean speedup %.2fx  (single thread; both engines produce identical trees)\n",
+              geomean);
+  std::printf("[micro_dijkstra] total time %.1fs\n", elapsed);
+
+  bench::Json doc = bench::Json::object();
+  doc.field("schema", "fpr-bench-v1")
+      .field("bench", "micro_dijkstra")
+      .field("timestamp_utc", iso_timestamp())
+      .field("threads_available", default_thread_count())
+      .field("min_seconds_per_measurement", min_seconds)
+      .field("geomean_speedup", geomean)
+      .field("cases", rows);
+  bench::write_json(json_path, doc);
+  return 0;
+}

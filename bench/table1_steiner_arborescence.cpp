@@ -7,10 +7,12 @@
 
 #include "analysis/table.hpp"
 #include "bench_util.hpp"
+#include "core/route.hpp"
 #include "experiments/table1.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fpr;
+  const char* json_path = bench::json_output_path(argc, argv);
   bench::banner(
       "Table 1 — Steiner/arborescence quality on congested 20x20 grids\n"
       "50 nets per (congestion, net size); wirelength vs KMB, max path vs OPT\n"
@@ -42,5 +44,35 @@ int main() {
       "wire; PFA/IDOM beat KMB's wirelength on uncongested grids and trade\n"
       "wire for optimal paths under congestion.\n");
   std::printf("[table1] total time %.1fs\n", elapsed);
+
+  if (json_path != nullptr) {
+    const auto algorithms = table1_algorithms();
+    bench::Json blocks = bench::Json::array();
+    for (const Table1Block& block : result.blocks) {
+      bench::Json rows = bench::Json::array();
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        bench::Json cells = bench::Json::array();
+        for (std::size_t s = 0; s < result.options.net_sizes.size(); ++s) {
+          cells.element(bench::Json::object()
+                            .field("net_size", result.options.net_sizes[s])
+                            .field("wirelength_pct", block.cells[a][s].wirelength_pct)
+                            .field("max_path_pct", block.cells[a][s].max_path_pct));
+        }
+        rows.element(bench::Json::object()
+                         .field("algorithm", std::string(algorithm_name(algorithms[a])))
+                         .field("cells", cells));
+      }
+      blocks.element(bench::Json::object()
+                         .field("mean_edge_weight", block.measured_mean_edge_weight)
+                         .field("rows", rows));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.field("schema", "fpr-bench-v1")
+        .field("bench", "table1")
+        .field("seed", static_cast<long long>(result.options.seed))
+        .field("elapsed_seconds", elapsed)
+        .field("blocks", blocks);
+    bench::write_json(json_path, doc);
+  }
   return 0;
 }

@@ -12,8 +12,9 @@
 #include "bench_util.hpp"
 #include "experiments/tables23.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fpr;
+  const char* json_path = bench::json_output_path(argc, argv);
   const bool full = bench::full_mode();
   bench::banner("Table 2 — minimum channel width, Xilinx 3000-series (Fs=6, Fc=0.6W)");
   bench::report_threads();
@@ -42,5 +43,23 @@ int main() {
       "mechanism behind the paper's 22%% CGE gap (Fig. 15).\n");
   std::printf("[table2] total time %.1fs (seed %u, max %d passes)\n", elapsed, options.seed,
               options.max_passes);
+
+  if (json_path != nullptr) {
+    bench::Json rows = bench::Json::array();
+    for (const WidthRow& row : result.rows) {
+      rows.element(bench::Json::object()
+                       .field("circuit", row.profile.name)
+                       .field("ours_min_width", row.ours)
+                       .field("baseline_min_width", row.baseline));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.field("schema", "fpr-bench-v1")
+        .field("bench", "table2_xc3000")
+        .field("seed", static_cast<long long>(options.seed))
+        .field("full_mode", full)
+        .field("elapsed_seconds", elapsed)
+        .field("rows", rows);
+    bench::write_json(json_path, doc);
+  }
   return 0;
 }

@@ -10,8 +10,9 @@
 #include "bench_util.hpp"
 #include "experiments/tables23.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fpr;
+  const char* json_path = bench::json_output_path(argc, argv);
   const bool full = bench::full_mode();
   bench::banner("Table 3 — minimum channel width, Xilinx 4000-series (Fs=3, Fc=W)");
   bench::report_threads();
@@ -41,5 +42,23 @@ int main() {
       "baseline on every circuit (paper: SEGA +26%%, GBP +17%% vs our router).\n");
   std::printf("[table3] total time %.1fs (seed %u, max %d passes)\n", elapsed, options.seed,
               options.max_passes);
+
+  if (json_path != nullptr) {
+    bench::Json rows = bench::Json::array();
+    for (const WidthRow& row : result.rows) {
+      rows.element(bench::Json::object()
+                       .field("circuit", row.profile.name)
+                       .field("ours_min_width", row.ours)
+                       .field("baseline_min_width", row.baseline));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.field("schema", "fpr-bench-v1")
+        .field("bench", "table3_xc4000")
+        .field("seed", static_cast<long long>(options.seed))
+        .field("full_mode", full)
+        .field("elapsed_seconds", elapsed)
+        .field("rows", rows);
+    bench::write_json(json_path, doc);
+  }
   return 0;
 }

@@ -10,8 +10,9 @@
 #include "bench_util.hpp"
 #include "experiments/table45.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fpr;
+  const char* json_path = bench::json_output_path(argc, argv);
   const bool full = bench::full_mode();
   bench::banner("Table 4 — min channel width by tree algorithm (IKMB / PFA / IDOM)");
   bench::report_threads();
@@ -39,5 +40,24 @@ int main() {
 
   std::printf("%s", render_table4(result).c_str());
   std::printf("[table4] total time %.1fs (seed %u)\n", elapsed, options.seed);
+
+  if (json_path != nullptr) {
+    bench::Json rows = bench::Json::array();
+    for (const Table4Row& row : result.rows) {
+      rows.element(bench::Json::object()
+                       .field("circuit", row.profile.name)
+                       .field("ikmb_min_width", row.ikmb)
+                       .field("pfa_min_width", row.pfa)
+                       .field("idom_min_width", row.idom));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.field("schema", "fpr-bench-v1")
+        .field("bench", "table4_algorithm_widths")
+        .field("seed", static_cast<long long>(options.seed))
+        .field("full_mode", full)
+        .field("elapsed_seconds", elapsed)
+        .field("rows", rows);
+    bench::write_json(json_path, doc);
+  }
   return 0;
 }

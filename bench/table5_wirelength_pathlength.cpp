@@ -11,8 +11,9 @@
 #include "bench_util.hpp"
 #include "experiments/table45.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fpr;
+  const char* json_path = bench::json_output_path(argc, argv);
   const bool full = bench::full_mode();
   bench::banner("Table 5 — wirelength vs max-pathlength tradeoff at fixed width");
   bench::report_threads();
@@ -38,5 +39,31 @@ int main() {
 
   std::printf("%s", render_table5(result).c_str());
   std::printf("[table5] total time %.1fs (seed %u)\n", elapsed, options.seed);
+
+  if (json_path != nullptr) {
+    bench::Json rows = bench::Json::array();
+    for (const Table5Row& row : result.rows) {
+      rows.element(bench::Json::object()
+                       .field("circuit", row.profile.name)
+                       .field("width", row.width)
+                       .field("all_routed", row.all_routed)
+                       .field("pfa_wire_pct", row.pfa_wire_pct)
+                       .field("idom_wire_pct", row.idom_wire_pct)
+                       .field("pfa_path_pct", row.pfa_path_pct)
+                       .field("idom_path_pct", row.idom_path_pct));
+    }
+    bench::Json doc = bench::Json::object();
+    doc.field("schema", "fpr-bench-v1")
+        .field("bench", "table5_tradeoff")
+        .field("seed", static_cast<long long>(options.seed))
+        .field("full_mode", full)
+        .field("elapsed_seconds", elapsed)
+        .field("avg_pfa_wire_pct", result.avg_pfa_wire)
+        .field("avg_idom_wire_pct", result.avg_idom_wire)
+        .field("avg_pfa_path_pct", result.avg_pfa_path)
+        .field("avg_idom_path_pct", result.avg_idom_path)
+        .field("rows", rows);
+    bench::write_json(json_path, doc);
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace fpr {
 
@@ -34,6 +35,23 @@ TreeMetrics measure(const Graph& g, const Net& net, const RoutingTree& tree, Pat
     }
   }
   return m;
+}
+
+OracleStats oracle_stats(const PathOracle& oracle) {
+  OracleStats s;
+  s.dijkstra_runs = oracle.dijkstra_runs();
+  s.cache_hits = oracle.cache_hits();
+  s.cache_misses = oracle.cache_misses();
+  s.hit_rate = oracle.hit_rate();
+  return s;
+}
+
+std::string format_oracle_stats(const OracleStats& stats) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "dijkstra runs %zu, cache %zu/%zu hits (%.1f%%)",
+                stats.dijkstra_runs, stats.cache_hits, stats.cache_hits + stats.cache_misses,
+                100.0 * stats.hit_rate);
+  return std::string(buf);
 }
 
 double percent_vs(Weight value, Weight reference) {

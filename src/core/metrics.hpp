@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstddef>
+#include <string>
+
 #include "core/net.hpp"
 #include "graph/path_oracle.hpp"
 #include "graph/routing_tree.hpp"
@@ -19,6 +22,21 @@ struct TreeMetrics {
 /// Measures a routing tree against its net. Uses the oracle's SSSP tree from
 /// the net's source for the optimality references.
 TreeMetrics measure(const Graph& g, const Net& net, const RoutingTree& tree, PathOracle& oracle);
+
+/// Snapshot of a PathOracle's shortest-path cache effectiveness: how often
+/// the Section-3 "factor out common computations" cache actually paid off.
+struct OracleStats {
+  std::size_t dijkstra_runs = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double hit_rate = 0;  // hits / (hits + misses), 0 when never queried
+};
+
+OracleStats oracle_stats(const PathOracle& oracle);
+
+/// One-line rendering for bench/harness logs, e.g.
+/// "dijkstra runs 12, cache 240/252 hits (95.2%)".
+std::string format_oracle_stats(const OracleStats& stats);
 
 /// Percent delta of `value` w.r.t. `reference`, as Table 1 reports it:
 /// positive = disimprovement, negative = improvement. Returns 0 when the

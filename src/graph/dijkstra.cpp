@@ -1,15 +1,16 @@
 #include "graph/dijkstra.hpp"
 
 #include <algorithm>
-#include <queue>
+
+#include "graph/dijkstra_arena.hpp"
 
 namespace fpr {
 
 std::vector<EdgeId> ShortestPathTree::path_edges_to(NodeId v) const {
+  if (!reached(v)) return {};  // unreachable: empty path, never an invalid walk
   std::vector<EdgeId> edges;
   while (v != source) {
     const auto e = parent_edge[static_cast<std::size_t>(v)];
-    assert(e != kInvalidEdge && "path requested to an unreachable node");
     edges.push_back(e);
     v = parent[static_cast<std::size_t>(v)];
   }
@@ -18,9 +19,9 @@ std::vector<EdgeId> ShortestPathTree::path_edges_to(NodeId v) const {
 }
 
 std::vector<NodeId> ShortestPathTree::path_nodes_to(NodeId v) const {
+  if (!reached(v)) return {};
   std::vector<NodeId> nodes{v};
   while (v != source) {
-    assert(parent[static_cast<std::size_t>(v)] != kInvalidNode);
     v = parent[static_cast<std::size_t>(v)];
     nodes.push_back(v);
   }
@@ -30,31 +31,68 @@ std::vector<NodeId> ShortestPathTree::path_nodes_to(NodeId v) const {
 
 namespace {
 
-/// Shared core: runs Dijkstra, optionally stopping once all `targets` are
-/// settled and the frontier has moved past the derived radius.
-ShortestPathTree dijkstra_impl(const Graph& g, NodeId source, std::span<const NodeId> targets,
-                               double radius_factor, Weight slack) {
-  const auto n = static_cast<std::size_t>(g.node_count());
-  ShortestPathTree t;
-  t.source = source;
-  t.dist.assign(n, kInfiniteWeight);
-  t.parent.assign(n, kInvalidNode);
-  t.parent_edge.assign(n, kInvalidEdge);
-  if (!g.node_active(source)) return t;
+/// Copies the arena's epoch-valid labels into the caller-visible tree.
+/// resize() keeps existing capacity, so reusing one tree object across runs
+/// allocates nothing once it has seen the largest graph.
+///
+/// On a stopped-early run the settled set is derived rather than tracked:
+/// nodes settle in strictly increasing (dist, node id) order, and when the
+/// search breaks, (stop_d, stop_node) is the minimum entry still in the
+/// heap — so a touched node is settled iff its label is lexicographically
+/// below that entry. This keeps per-node "done" bookkeeping out of the hot
+/// loop entirely.
+void export_tree(const DijkstraArena& arena, NodeId node_count, bool stopped_early,
+                 Weight stop_d, NodeId stop_node, ShortestPathTree& out) {
+  arena.export_labels(node_count, out.dist, out.parent, out.parent_edge);
+  if (stopped_early) {
+    out.settled.resize(static_cast<std::size_t>(node_count));
+    for (NodeId v = 0; v < node_count; ++v) {
+      const Weight dv = out.dist[static_cast<std::size_t>(v)];
+      out.settled[static_cast<std::size_t>(v)] =
+          static_cast<char>(dv < stop_d || (dv == stop_d && v < stop_node));
+    }
+  } else {
+    out.settled.clear();
+  }
+}
 
-  std::vector<char> pending(targets.empty() ? 0 : n, 0);
+/// Shared core: Dijkstra over the graph's CSR snapshot with this thread's
+/// arena, optionally stopping once all `targets` are settled and the
+/// frontier has moved past the derived radius.
+///
+/// Determinism contract (pinned by dijkstra_differential_test): settle
+/// order is the successive minimum of (tentative distance, node id), and
+/// within a settled node edges relax in CSR order == incident-list order,
+/// so dist/parent/parent_edge are bit-identical to the historical engine.
+/// One deliberate divergence: when the search exhausts the component, the
+/// result is always marked complete, where the old engine could still
+/// report stopped-early if a superseded heap entry above the limit survived
+/// to the top (see dijkstra_reference.hpp).
+void dijkstra_impl(const Graph& g, NodeId source, std::span<const NodeId> targets,
+                   double radius_factor, Weight slack, ShortestPathTree& out) {
+  const NodeId node_count = g.node_count();
+  out.source = source;
+  out.inactive_targets = 0;
+  DijkstraArena& arena = DijkstraArena::thread_local_instance();
+  arena.begin_run(node_count);
+  if (!g.node_active(source)) {
+    // Everything untouched: exports as all-infinite, like the old engine
+    // (which also skipped the target scan, leaving inactive_targets at 0).
+    export_tree(arena, node_count, false, 0, kInvalidNode, out);
+    return;
+  }
+
   NodeId pending_count = 0;
   for (const NodeId v : targets) {
     if (!g.node_active(v)) {
       // A removed target can never be settled; counting it would keep
       // pending_count above zero forever, the radius limit infinite, and
       // silently degrade every scoped run to a full-graph Dijkstra.
-      ++t.inactive_targets;
+      ++out.inactive_targets;
       continue;
     }
-    auto& flag = pending[static_cast<std::size_t>(v)];
-    if (flag == 0 && v != source) {
-      flag = 1;
+    if (v != source && !arena.pending(v)) {
+      arena.mark_pending(v);
       ++pending_count;
     }
   }
@@ -62,60 +100,70 @@ ShortestPathTree dijkstra_impl(const Graph& g, NodeId source, std::span<const No
   // settle event to derive a radius from: run explicitly unbounded, exactly
   // like a plain dijkstra() call.
 
-  using Entry = std::pair<Weight, NodeId>;  // (dist, node); node breaks ties
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  t.dist[static_cast<std::size_t>(source)] = 0;
-  heap.emplace(0, source);
+  const CsrAdjacency& csr = g.csr();
+  const EdgeId* offsets = csr.offsets.data();
+  const NodeId* neighbor = csr.neighbor.data();
+  const EdgeId* edge_id = csr.edge_id.data();
+  const Weight* weight = csr.weight.data();
+  arena.relax(source, 0, kInvalidNode, kInvalidEdge);
 
-  std::vector<char> done(n, 0);
   Weight limit = kInfiniteWeight;  // becomes finite once all targets settle
   bool stopped_early = false;
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
+  Weight stop_d = 0;
+  NodeId stop_node = kInvalidNode;
+  while (!arena.heap_empty()) {
+    const NodeId u = arena.heap_min();
+    const Weight d = arena.heap_min_key();
     if (d > limit) {
       stopped_early = true;
+      stop_d = d;
+      stop_node = u;
       break;
     }
-    heap.pop();
-    auto& du = done[static_cast<std::size_t>(u)];
-    if (du) continue;
-    du = 1;
-    if (pending_count > 0 && pending[static_cast<std::size_t>(u)]) {
-      pending[static_cast<std::size_t>(u)] = 0;
+    arena.heap_pop_min();
+    if (pending_count > 0 && arena.pending(u)) {
+      arena.clear_pending(u);
       if (--pending_count == 0) {
         limit = radius_factor * d + slack;
       }
     }
-    for (const EdgeId e : g.incident_edges(u)) {
-      if (!g.edge_usable(e)) continue;
-      const NodeId v = g.other_end(e, u);
-      const Weight nd = d + g.edge_weight(e);
-      auto& dv = t.dist[static_cast<std::size_t>(v)];
-      // Strict improvement only: with the min-heap popping smaller node ids
-      // first among equal keys, this yields a deterministic parent forest.
-      if (nd < dv) {
-        dv = nd;
-        t.parent[static_cast<std::size_t>(v)] = u;
-        t.parent_edge[static_cast<std::size_t>(v)] = e;
-        heap.emplace(nd, v);
+    const EdgeId begin = offsets[static_cast<std::size_t>(u)];
+    const EdgeId end = offsets[static_cast<std::size_t>(u) + 1];
+    for (EdgeId k = begin; k < end; ++k) {
+      const NodeId v = neighbor[static_cast<std::size_t>(k)];
+      // Unusable edges carry kInfiniteWeight here, so they can never pass
+      // the strict-improvement test — no explicit usability branch needed.
+      const Weight nd = d + weight[static_cast<std::size_t>(k)];
+      if (nd < arena.dist(v)) {
+        arena.relax(v, nd, u, edge_id[static_cast<std::size_t>(k)]);
       }
     }
   }
-  if (stopped_early) {
-    t.settled = std::move(done);
-  }
-  return t;
+  export_tree(arena, node_count, stopped_early, stop_d, stop_node, out);
 }
 
 }  // namespace
 
 ShortestPathTree dijkstra(const Graph& g, NodeId source) {
-  return dijkstra_impl(g, source, {}, 0, 0);
+  ShortestPathTree t;
+  dijkstra_impl(g, source, {}, 0, 0, t);
+  return t;
+}
+
+void dijkstra(const Graph& g, NodeId source, ShortestPathTree& out) {
+  dijkstra_impl(g, source, {}, 0, 0, out);
 }
 
 ShortestPathTree dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
                                  double radius_factor, Weight slack) {
-  return dijkstra_impl(g, source, targets, radius_factor, slack);
+  ShortestPathTree t;
+  dijkstra_impl(g, source, targets, radius_factor, slack, t);
+  return t;
+}
+
+void dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
+                     ShortestPathTree& out, double radius_factor, Weight slack) {
+  dijkstra_impl(g, source, targets, radius_factor, slack, out);
 }
 
 }  // namespace fpr

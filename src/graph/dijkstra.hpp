@@ -42,15 +42,29 @@ struct ShortestPathTree {
   Weight distance(NodeId v) const { return dist[static_cast<std::size_t>(v)]; }
 
   /// Edges of the source -> v shortest path (empty when v == source).
-  /// Precondition: reached(v).
+  /// Returns an empty path when v is unreachable — previously that was
+  /// undefined behavior in Release builds (the assert compiled out and the
+  /// walk indexed with kInvalidNode).
   std::vector<EdgeId> path_edges_to(NodeId v) const;
 
-  /// Nodes of the source -> v shortest path, source first.
+  /// Nodes of the source -> v shortest path, source first. Empty when v is
+  /// unreachable (same contract as path_edges_to).
   std::vector<NodeId> path_nodes_to(NodeId v) const;
 };
 
 /// Runs Dijkstra over the usable part of g. O((V + E) log V).
+///
+/// The engine walks the graph's CSR adjacency snapshot (Graph::csr()) with
+/// a thread-local epoch-stamped arena and an indexed 4-ary heap with
+/// decrease-key — see DESIGN.md §8. Output is bit-identical to the
+/// historical binary-heap engine (kept in graph/dijkstra_reference.hpp and
+/// pinned by tests/graph/dijkstra_differential_test.cpp).
 ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// Allocation-free variant: runs into `out`, reusing its vectors' capacity.
+/// Repeated calls with the same tree object allocate nothing at steady
+/// state (the router's two-pin baseline and the microbench use this).
+void dijkstra(const Graph& g, NodeId source, ShortestPathTree& out);
 
 /// Radius-bounded Dijkstra: settles at least every reachable node in
 /// `targets`, then keeps expanding until the frontier key exceeds
@@ -62,10 +76,14 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source);
 /// If the search exhausts the component anyway, the result is marked
 /// complete. Queries outside the settled set must consult knows() —
 /// PathOracle does this and transparently falls back to a full run.
-/// Deactivated targets are skipped (counted in inactive_targets) rather
-/// than left pending forever; if every target is inactive the run is
-/// unbounded, like dijkstra().
+/// Deactivated targets are skipped (counted in ShortestPathTree::
+/// inactive_targets) rather than left pending forever; if every target is
+/// inactive the run is unbounded, like dijkstra().
 ShortestPathTree dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
                                  double radius_factor = 1.3, Weight slack = 4.0);
+
+/// Reuse variant of dijkstra_within (see the dijkstra() overload above).
+void dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
+                     ShortestPathTree& out, double radius_factor = 1.3, Weight slack = 4.0);
 
 }  // namespace fpr

@@ -4,12 +4,59 @@ namespace fpr {
 
 Graph::Graph(NodeId node_count) { add_nodes(node_count); }
 
+void Graph::copy_logical_state(const Graph& other) {
+  edges_ = other.edges_;
+  incident_ = other.incident_;
+  node_active_ = other.node_active_;
+  revision_ = other.revision_;
+  structural_revision_ = other.structural_revision_;
+  usable_edges_ = other.usable_edges_;
+  usable_weight_sum_ = other.usable_weight_sum_;
+  traversal_weight_ = other.traversal_weight_;
+  csr_structural_.store(kCsrStale, std::memory_order_relaxed);
+}
+
+Graph::Graph(const Graph& other) { copy_logical_state(other); }
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) copy_logical_state(other);
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : edges_(std::move(other.edges_)),
+      incident_(std::move(other.incident_)),
+      node_active_(std::move(other.node_active_)),
+      revision_(other.revision_),
+      structural_revision_(other.structural_revision_),
+      usable_edges_(other.usable_edges_),
+      usable_weight_sum_(other.usable_weight_sum_),
+      traversal_weight_(std::move(other.traversal_weight_)) {
+  csr_structural_.store(kCsrStale, std::memory_order_relaxed);
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    edges_ = std::move(other.edges_);
+    incident_ = std::move(other.incident_);
+    node_active_ = std::move(other.node_active_);
+    revision_ = other.revision_;
+    structural_revision_ = other.structural_revision_;
+    usable_edges_ = other.usable_edges_;
+    usable_weight_sum_ = other.usable_weight_sum_;
+    traversal_weight_ = std::move(other.traversal_weight_);
+    csr_structural_.store(kCsrStale, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 NodeId Graph::add_nodes(NodeId count) {
   assert(count >= 0);
   const NodeId first = node_count();
   incident_.resize(incident_.size() + static_cast<std::size_t>(count));
   node_active_.resize(node_active_.size() + static_cast<std::size_t>(count), 1);
   ++revision_;
+  ++structural_revision_;
   return first;
 }
 
@@ -22,13 +69,51 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
   edges_.push_back(Edge{u, v, w, true});
   incident_[static_cast<std::size_t>(u)].push_back(id);
   incident_[static_cast<std::size_t>(v)].push_back(id);
+  const bool usable = node_active(u) && node_active(v);
+  traversal_weight_.push_back(usable ? w : kInfiniteWeight);
+  if (usable) {
+    ++usable_edges_;
+    usable_weight_sum_ += w;
+  }
   ++revision_;
+  ++structural_revision_;
   return id;
+}
+
+void Graph::sync_csr_weight(EdgeId e, Weight w) {
+  if (csr_structural_.load(std::memory_order_relaxed) != structural_revision_) return;
+  const auto s = static_cast<std::size_t>(e) * 2;
+  csr_.weight[static_cast<std::size_t>(csr_.slot[s])] = w;
+  csr_.weight[static_cast<std::size_t>(csr_.slot[s + 1])] = w;
+}
+
+void Graph::sync_edge_usability(EdgeId e, bool usable_now) {
+  const auto idx = static_cast<std::size_t>(e);
+  const bool usable_before = traversal_weight_[idx] != kInfiniteWeight;
+  if (usable_before == usable_now) return;
+  const Weight w = edges_[idx].weight;
+  if (usable_now) {
+    ++usable_edges_;
+    usable_weight_sum_ += w;
+    traversal_weight_[idx] = w;
+    sync_csr_weight(e, w);
+  } else {
+    --usable_edges_;
+    usable_weight_sum_ -= w;
+    traversal_weight_[idx] = kInfiniteWeight;
+    sync_csr_weight(e, kInfiniteWeight);
+  }
 }
 
 void Graph::set_edge_weight(EdgeId e, Weight w) {
   assert(w >= 0);
-  edges_[static_cast<std::size_t>(e)].weight = w;
+  auto& ed = edges_[static_cast<std::size_t>(e)];
+  if (traversal_weight_[static_cast<std::size_t>(e)] != kInfiniteWeight) {
+    usable_weight_sum_ += w - ed.weight;
+    traversal_weight_[static_cast<std::size_t>(e)] = w;
+    sync_csr_weight(e, w);
+  }
+  ed.weight = w;
   ++revision_;
 }
 
@@ -36,47 +121,87 @@ void Graph::add_edge_weight(EdgeId e, Weight delta) {
   auto& ed = edges_[static_cast<std::size_t>(e)];
   assert(ed.weight + delta >= 0);
   ed.weight += delta;
+  if (traversal_weight_[static_cast<std::size_t>(e)] != kInfiniteWeight) {
+    usable_weight_sum_ += delta;
+    traversal_weight_[static_cast<std::size_t>(e)] = ed.weight;
+    sync_csr_weight(e, ed.weight);
+  }
   ++revision_;
 }
 
 void Graph::remove_edge(EdgeId e) {
   edges_[static_cast<std::size_t>(e)].active = false;
+  sync_edge_usability(e, false);
   ++revision_;
 }
 
 void Graph::restore_edge(EdgeId e) {
-  edges_[static_cast<std::size_t>(e)].active = true;
+  auto& ed = edges_[static_cast<std::size_t>(e)];
+  ed.active = true;
+  sync_edge_usability(e, node_active(ed.u) && node_active(ed.v));
   ++revision_;
 }
 
 void Graph::remove_node(NodeId v) {
-  node_active_[static_cast<std::size_t>(v)] = 0;
+  if (node_active_[static_cast<std::size_t>(v)]) {
+    node_active_[static_cast<std::size_t>(v)] = 0;
+    for (const EdgeId e : incident_[static_cast<std::size_t>(v)]) {
+      sync_edge_usability(e, false);
+    }
+  }
   ++revision_;
 }
 
 void Graph::restore_node(NodeId v) {
-  node_active_[static_cast<std::size_t>(v)] = 1;
+  if (!node_active_[static_cast<std::size_t>(v)]) {
+    node_active_[static_cast<std::size_t>(v)] = 1;
+    for (const EdgeId e : incident_[static_cast<std::size_t>(v)]) {
+      sync_edge_usability(e, edge_usable(e));
+    }
+  }
   ++revision_;
 }
 
-EdgeId Graph::active_edge_count() const {
-  EdgeId n = 0;
-  for (EdgeId e = 0; e < edge_count(); ++e) {
-    if (edge_usable(e)) ++n;
-  }
-  return n;
-}
-
-Weight Graph::mean_active_edge_weight() const {
-  Weight sum = 0;
-  EdgeId n = 0;
-  for (EdgeId e = 0; e < edge_count(); ++e) {
-    if (edge_usable(e)) {
-      sum += edge(e).weight;
-      ++n;
+const CsrAdjacency& Graph::csr() const {
+  const std::uint64_t want = structural_revision_;
+  if (csr_structural_.load(std::memory_order_acquire) == want) return csr_;
+  std::lock_guard<std::mutex> lock(csr_mu_);
+  if (csr_structural_.load(std::memory_order_relaxed) != want) {
+    const auto n = static_cast<std::size_t>(node_count());
+    csr_.offsets.assign(n + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      csr_.offsets[v] = static_cast<EdgeId>(total);
+      total += incident_[v].size();
     }
+    csr_.offsets[n] = static_cast<EdgeId>(total);
+    csr_.neighbor.resize(total);
+    csr_.edge_id.resize(total);
+    csr_.weight.resize(total);
+    csr_.slot.assign(static_cast<std::size_t>(edge_count()) * 2, kInvalidEdge);
+    std::size_t k = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      // Insertion order is preserved, matching incident_edges() — the
+      // deterministic-parent guarantee of dijkstra() relies on this.
+      for (const EdgeId e : incident_[v]) {
+        const Edge& ed = edges_[static_cast<std::size_t>(e)];
+        csr_.neighbor[k] = ed.u == static_cast<NodeId>(v) ? ed.v : ed.u;
+        csr_.edge_id[k] = e;
+        csr_.weight[k] = traversal_weight_[static_cast<std::size_t>(e)];
+        // Each edge occupies exactly two slots (no self-loops); remember
+        // both so weight mutations can patch them in place.
+        auto& first = csr_.slot[static_cast<std::size_t>(e) * 2];
+        if (first == kInvalidEdge) {
+          first = static_cast<EdgeId>(k);
+        } else {
+          csr_.slot[static_cast<std::size_t>(e) * 2 + 1] = static_cast<EdgeId>(k);
+        }
+        ++k;
+      }
+    }
+    csr_structural_.store(want, std::memory_order_release);
   }
-  return n == 0 ? Weight{0} : sum / static_cast<Weight>(n);
+  return csr_;
 }
 
 }  // namespace fpr

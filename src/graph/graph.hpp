@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -9,17 +11,52 @@
 
 namespace fpr {
 
+/// Flat compressed-sparse-row snapshot of a Graph's adjacency, the classic
+/// routing-resource-graph layout (PathFinder/VPR): one contiguous offsets
+/// array plus parallel neighbor/edge-id arrays, so the Dijkstra inner loop
+/// walks cache-line-sized runs instead of chasing per-node vectors.
+///
+/// Within a node's slice, entries appear in edge-insertion order — the same
+/// order Graph::incident_edges() yields — which the deterministic-parent
+/// guarantee of dijkstra() depends on (see DESIGN.md §8).
+///
+/// `weight` mirrors Graph::traversal_weights() per slot (the edge's weight,
+/// or kInfiniteWeight while unusable) and is updated in place by the weight
+/// and activity mutators, so congestion bumps never force a rebuild and the
+/// relaxation loop reads its cost from the same contiguous stream it reads
+/// the neighbor from.
+struct CsrAdjacency {
+  std::vector<EdgeId> offsets;   // node_count() + 1 entries
+  std::vector<NodeId> neighbor;  // 2 * edge_count() entries
+  std::vector<EdgeId> edge_id;   // parallel to neighbor
+  std::vector<Weight> weight;    // parallel to neighbor; traversal weight
+  std::vector<EdgeId> slot;      // slot[2e], slot[2e+1]: edge e's positions
+
+  std::span<const NodeId> neighbors_of(NodeId v) const {
+    const auto b = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(offsets[static_cast<std::size_t>(v) + 1]);
+    return {neighbor.data() + b, e - b};
+  }
+};
+
 /// Weighted undirected graph with removable (deactivatable) nodes and edges
 /// and mutable edge weights.
 ///
 /// This is the routing-graph substrate of the paper (Section 2, Figure 2):
 /// the FPGA router commits wire segments to nets by deactivating their nodes,
 /// and models congestion by raising edge weights, so both operations are
-/// first-class and O(1). Deactivated elements keep their ids; traversals
-/// (Dijkstra, MST, ...) skip them.
+/// first-class and O(1) (node removal/restore is O(degree) to keep the
+/// usable-edge counters and flat traversal weights exact). Deactivated
+/// elements keep their ids; traversals (Dijkstra, MST, ...) skip them.
 ///
-/// Every mutation bumps `revision()`, which shortest-path caches use for
-/// invalidation.
+/// Two monotone revision counters drive caching:
+///  - revision() bumps on EVERY mutation and invalidates anything derived
+///    from weights or activity (PathOracle's shortest-path trees);
+///  - structural_revision() bumps only when the topology itself grows
+///    (add_nodes/add_edge). The CSR adjacency snapshot (csr()) depends only
+///    on topology, so the router's per-edge congestion bumps and node
+///    removals update the flat traversal_weights() array in place without
+///    ever forcing a CSR rebuild.
 class Graph {
  public:
   struct Edge {
@@ -31,6 +68,14 @@ class Graph {
 
   Graph() = default;
   explicit Graph(NodeId node_count);
+
+  // The CSR cache carries a mutex, so the compiler-generated special members
+  // are unavailable; copies/moves transfer the logical graph and leave the
+  // destination's snapshot to be rebuilt lazily.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// Appends `count` fresh nodes; returns the id of the first one.
   NodeId add_nodes(NodeId count);
@@ -76,18 +121,64 @@ class Graph {
   /// Monotone counter incremented on every mutation; used by PathOracle.
   std::uint64_t revision() const { return revision_; }
 
-  /// Number of currently usable edges.
-  EdgeId active_edge_count() const;
+  /// Monotone counter incremented only by add_nodes/add_edge — the part of
+  /// revision() the CSR snapshot depends on.
+  std::uint64_t structural_revision() const { return structural_revision_; }
+
+  /// The flat adjacency snapshot, rebuilt lazily when structural_revision()
+  /// has moved since the last build. Safe to call from concurrent readers
+  /// (the rebuild is mutex-guarded); mutating the graph concurrently with
+  /// any reader is undefined, exactly as before.
+  const CsrAdjacency& csr() const;
+
+  /// Per-edge traversal cost, maintained in place on every mutation:
+  /// weight(e) while edge_usable(e), kInfiniteWeight otherwise. Relaxing
+  /// through this array folds the usability test into the ordinary
+  /// `dist + w < best` comparison (inf never improves a distance), which is
+  /// what keeps the Dijkstra inner loop branch-light.
+  std::span<const Weight> traversal_weights() const { return traversal_weight_; }
+
+  /// Number of currently usable edges. O(1): maintained as a running
+  /// counter by every mutator.
+  EdgeId active_edge_count() const { return usable_edges_; }
 
   /// Mean weight over usable edges (the paper reports the average
-  /// routing-graph edge weight per congestion level in Table 1).
-  Weight mean_active_edge_weight() const;
+  /// routing-graph edge weight per congestion level in Table 1). O(1) from
+  /// a running sum; exact whenever weights and congestion deltas are
+  /// dyadic rationals (integers, halves, ...) summing below 2^53, which
+  /// every workload in this repo satisfies.
+  Weight mean_active_edge_weight() const {
+    return usable_edges_ == 0 ? Weight{0} : usable_weight_sum_ / static_cast<Weight>(usable_edges_);
+  }
 
  private:
+  void copy_logical_state(const Graph& other);
+  /// Transitions edge `e` into/out of the usable set, updating the running
+  /// counters and flat traversal weight. `usable_now` must be the post-
+  /// mutation usability.
+  void sync_edge_usability(EdgeId e, bool usable_now);
+  /// Mirrors a traversal-weight change into the CSR snapshot's per-slot
+  /// weight stream, when a snapshot is currently built.
+  void sync_csr_weight(EdgeId e, Weight w);
+
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> incident_;
   std::vector<char> node_active_;
   std::uint64_t revision_ = 0;
+  std::uint64_t structural_revision_ = 0;
+
+  // Running aggregates over the usable-edge set (kept exact by
+  // sync_edge_usability / the weight mutators).
+  EdgeId usable_edges_ = 0;
+  Weight usable_weight_sum_ = 0;
+  std::vector<Weight> traversal_weight_;  // weight or kInfiniteWeight, per edge
+
+  // Lazily built CSR snapshot. csr_structural_ is the structural revision
+  // the snapshot was built at (kCsrStale = never built).
+  static constexpr std::uint64_t kCsrStale = ~std::uint64_t{0};
+  mutable std::mutex csr_mu_;
+  mutable std::atomic<std::uint64_t> csr_structural_{kCsrStale};
+  mutable CsrAdjacency csr_;
 };
 
 }  // namespace fpr

@@ -15,11 +15,17 @@ const ShortestPathTree& PathOracle::from(NodeId source) {
   refresh();
   auto it = cache_.find(source);
   if (it == cache_.end()) {
-    auto tree = scope_.empty()
-                    ? std::make_unique<ShortestPathTree>(dijkstra(*g_, source))
-                    : std::make_unique<ShortestPathTree>(dijkstra_within(*g_, source, scope_));
+    auto tree = std::make_unique<ShortestPathTree>();
+    if (scope_.empty()) {
+      dijkstra(*g_, source, *tree);
+    } else {
+      dijkstra_within(*g_, source, scope_, *tree);
+    }
     it = cache_.emplace(source, std::move(tree)).first;
     ++runs_;
+    ++misses_;
+  } else {
+    ++hits_;
   }
   return *it->second;
 }
@@ -28,12 +34,13 @@ const ShortestPathTree& PathOracle::from_knowing(NodeId source, NodeId probe) {
   const ShortestPathTree& tree = from(source);
   if (tree.knows(probe)) return tree;
   // The bounded tree stopped short of the probe: upgrade to a complete run.
-  // Assign INTO the cached object (not a pointer swap) so references handed
+  // Run INTO the cached object (not a pointer swap) so references handed
   // out by from() earlier stay valid — algorithms hold the source tree
   // across queries that may trigger upgrades.
   auto it = cache_.find(source);
-  *it->second = dijkstra(*g_, source);
+  dijkstra(*g_, source, *it->second);
   ++runs_;
+  ++misses_;
   return *it->second;
 }
 
@@ -46,9 +53,11 @@ const ShortestPathTree* PathOracle::cached(NodeId source) {
 Weight PathOracle::distance(NodeId u, NodeId v) {
   refresh();
   if (auto it = cache_.find(u); it != cache_.end() && it->second->knows(v)) {
+    ++hits_;
     return it->second->distance(v);
   }
   if (auto it = cache_.find(v); it != cache_.end() && it->second->knows(u)) {
+    ++hits_;
     return it->second->distance(u);
   }
   return from_knowing(u, v).distance(v);
@@ -58,9 +67,11 @@ std::vector<EdgeId> PathOracle::path_between(NodeId a, NodeId b) {
   assert(a != kInvalidNode && b != kInvalidNode);
   if (a == b) return {};
   if (const ShortestPathTree* spt = cached(a); spt != nullptr && spt->knows(b)) {
+    ++hits_;
     return spt->reached(b) ? spt->path_edges_to(b) : std::vector<EdgeId>{};
   }
   if (const ShortestPathTree* spt = cached(b); spt != nullptr && spt->knows(a)) {
+    ++hits_;
     return spt->reached(a) ? spt->path_edges_to(a) : std::vector<EdgeId>{};
   }
   const auto& spt = from_knowing(a, b);
@@ -70,6 +81,8 @@ std::vector<EdgeId> PathOracle::path_between(NodeId a, NodeId b) {
 void PathOracle::clear() {
   cache_.clear();
   runs_ = 0;
+  hits_ = 0;
+  misses_ = 0;
   revision_ = g_->revision();
 }
 

@@ -18,7 +18,17 @@ namespace fpr {
 /// terminal set, and every distance they need is available from the
 /// terminals' own SSSP trees.
 ///
-/// The cache self-invalidates when the underlying graph's revision changes.
+/// The trees come from the CSR/arena Dijkstra engine (DESIGN.md §8), whose
+/// deterministic tie-break makes every cached parent forest reproducible.
+/// The cache self-invalidates when the underlying graph's total revision()
+/// changes — weight bumps included, because distances depend on weights
+/// (the structural_revision() split only spares the graph's CSR snapshot,
+/// not these trees).
+///
+/// Cache effectiveness is observable: cache_hits() counts queries served
+/// from an already-computed tree, cache_misses() counts the ones that had
+/// to run Dijkstra (including bounded-tree upgrades). src/core/metrics
+/// snapshots both for reporting.
 class PathOracle {
  public:
   explicit PathOracle(const Graph& g) : g_(&g), revision_(g.revision()) {}
@@ -63,6 +73,23 @@ class PathOracle {
   /// and the candidate-filtering ablation).
   std::size_t dijkstra_runs() const { return runs_; }
 
+  /// Queries answered from an already-computed tree since construction/
+  /// clear: repeat from() calls, and distance()/path_between() served by a
+  /// cached endpoint. Revision-triggered invalidation does NOT reset these
+  /// — they describe the oracle's whole lifetime, so a hot IGMST loop shows
+  /// a high hit rate even though the router mutates the graph between nets.
+  std::size_t cache_hits() const { return hits_; }
+
+  /// Queries that had to run Dijkstra: cold from() calls and bounded-tree
+  /// upgrades in from_knowing().
+  std::size_t cache_misses() const { return misses_; }
+
+  /// hits / (hits + misses); 0 when nothing was queried yet.
+  double hit_rate() const {
+    const std::size_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
  private:
   void refresh();
 
@@ -71,6 +98,8 @@ class PathOracle {
   std::unordered_map<NodeId, std::unique_ptr<ShortestPathTree>> cache_;
   std::vector<NodeId> scope_;
   std::size_t runs_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
 };
 
 }  // namespace fpr

@@ -88,8 +88,12 @@ TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
   TwoPinOutcome out;
   std::vector<EdgeId> all_edges;
   CommitLog log;
+  // One tree object across all sinks: each commit mutates the graph, so the
+  // search must rerun per sink, but the reuse overload keeps the per-sink
+  // reruns allocation-free (the tree's vectors are recycled).
+  ShortestPathTree spt;
   for (const NodeId sink : net.sinks) {
-    const auto spt = dijkstra(g, net.source);
+    dijkstra(g, net.source, spt);
     if (!spt.reached(sink)) {
       // A later sink failed after earlier sinks already consumed wires and
       // charged congestion: the whole net fails, so give those resources

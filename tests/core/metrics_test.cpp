@@ -55,6 +55,21 @@ TEST(MetricsTest, NonSpanningTreeReported) {
   EXPECT_EQ(m.optimal_max_pathlength, kInfiniteWeight);
 }
 
+TEST(MetricsTest, OracleStatsSnapshotMatchesOracle) {
+  GridGraph grid(4, 4);
+  PathOracle oracle(grid.graph());
+  oracle.from(0);
+  oracle.from(0);
+  const OracleStats s = oracle_stats(oracle);
+  EXPECT_EQ(s.dijkstra_runs, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate, 0.5);
+  const std::string line = format_oracle_stats(s);
+  EXPECT_NE(line.find("1/2 hits"), std::string::npos);
+  EXPECT_NE(line.find("50.0%"), std::string::npos);
+}
+
 TEST(MetricsTest, PercentConventionMatchesTable1) {
   // Positive = disimprovement, negative = improvement (Table 1 caption).
   EXPECT_DOUBLE_EQ(percent_vs(12, 10), 20.0);

@@ -95,6 +95,42 @@ TEST(DijkstraTest, PathEdgesReconstructShortestPath) {
   EXPECT_EQ(nodes.back(), 3);
 }
 
+TEST(DijkstraTest, PathToUnreachableNodeIsEmpty) {
+  // Regression: in Release builds the old assert compiled out and the
+  // parent walk indexed with kInvalidNode (infinite loop / OOB read).
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  const auto spt = dijkstra(g, 0);
+  ASSERT_FALSE(spt.reached(3));
+  EXPECT_TRUE(spt.path_edges_to(3).empty());
+  EXPECT_TRUE(spt.path_nodes_to(3).empty());
+}
+
+TEST(DijkstraTest, PathToInactiveNodeIsEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.remove_node(2);
+  const auto spt = dijkstra(g, 0);
+  ASSERT_FALSE(spt.reached(2));
+  EXPECT_TRUE(spt.path_edges_to(2).empty());
+  EXPECT_TRUE(spt.path_nodes_to(2).empty());
+}
+
+TEST(DijkstraTest, ReuseOverloadMatchesByValue) {
+  GridGraph grid(8, 8);
+  ShortestPathTree reused;
+  for (NodeId src : {NodeId{0}, grid.node_at(3, 4), grid.node_at(7, 7)}) {
+    dijkstra(grid.graph(), src, reused);
+    const auto fresh = dijkstra(grid.graph(), src);
+    EXPECT_EQ(reused.dist, fresh.dist);
+    EXPECT_EQ(reused.parent, fresh.parent);
+    EXPECT_EQ(reused.parent_edge, fresh.parent_edge);
+    EXPECT_EQ(reused.settled, fresh.settled);
+  }
+}
+
 TEST(DijkstraTest, GridDistancesAreManhattan) {
   GridGraph grid(6, 5);
   const auto spt = dijkstra(grid.graph(), grid.node_at(1, 1));

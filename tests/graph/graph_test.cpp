@@ -2,8 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace fpr {
 namespace {
+
+/// Brute-force ground truth for the O(1) running counters.
+EdgeId scan_active_edge_count(const Graph& g) {
+  EdgeId n = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge_usable(e)) ++n;
+  }
+  return n;
+}
+
+Weight scan_mean_active_edge_weight(const Graph& g) {
+  Weight sum = 0;
+  EdgeId n = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge_usable(e)) {
+      sum += g.edge_weight(e);
+      ++n;
+    }
+  }
+  return n == 0 ? Weight{0} : sum / static_cast<Weight>(n);
+}
 
 TEST(GraphTest, StartsEmpty) {
   Graph g;
@@ -118,6 +141,142 @@ TEST(GraphTest, MeanActiveEdgeWeight) {
 TEST(GraphTest, MeanActiveEdgeWeightEmptyGraphIsZero) {
   Graph g(2);
   EXPECT_DOUBLE_EQ(g.mean_active_edge_weight(), 0.0);
+}
+
+TEST(GraphTest, RunningCountersMatchBruteScanUnderRandomMutations) {
+  // The O(1) counters must agree with a fresh O(E) scan after every kind of
+  // mutation, including redundant removes/restores.
+  std::mt19937_64 rng(20260806);
+  Graph g(20);
+  std::uniform_int_distribution<NodeId> node(0, 19);
+  std::uniform_int_distribution<int> weight(1, 10);
+  for (int i = 0; i < 40; ++i) {
+    NodeId u = node(rng), v = node(rng);
+    if (u == v) continue;
+    g.add_edge(u, v, weight(rng));
+  }
+  ASSERT_GT(g.edge_count(), 0);
+  std::uniform_int_distribution<EdgeId> edge(0, g.edge_count() - 1);
+  std::uniform_int_distribution<int> op(0, 6);
+  for (int step = 0; step < 300; ++step) {
+    switch (op(rng)) {
+      case 0: g.remove_edge(edge(rng)); break;
+      case 1: g.restore_edge(edge(rng)); break;
+      case 2: g.remove_node(node(rng)); break;
+      case 3: g.restore_node(node(rng)); break;
+      case 4: g.set_edge_weight(edge(rng), weight(rng)); break;
+      case 5: g.add_edge_weight(edge(rng), 2); break;
+      case 6: g.add_edge(node(rng) == 0 ? 1 : 0, node(rng) == 19 ? 18 : 19, weight(rng)); break;
+    }
+    ASSERT_EQ(g.active_edge_count(), scan_active_edge_count(g)) << "step " << step;
+    ASSERT_TRUE(weight_eq(g.mean_active_edge_weight(), scan_mean_active_edge_weight(g)))
+        << "step " << step << ": " << g.mean_active_edge_weight() << " vs "
+        << scan_mean_active_edge_weight(g);
+  }
+}
+
+TEST(GraphTest, RedundantRemovesDoNotSkewCounters) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 4.0);
+  g.remove_node(1);
+  g.remove_node(1);  // idempotent
+  EXPECT_EQ(g.active_edge_count(), 0);
+  g.restore_node(1);
+  g.restore_node(1);  // idempotent
+  EXPECT_EQ(g.active_edge_count(), 2);
+  EXPECT_DOUBLE_EQ(g.mean_active_edge_weight(), 3.0);
+  const EdgeId e = 0;
+  g.remove_edge(e);
+  g.remove_edge(e);  // idempotent
+  EXPECT_EQ(g.active_edge_count(), 1);
+  g.restore_edge(e);
+  g.restore_edge(e);  // idempotent
+  EXPECT_EQ(g.active_edge_count(), 2);
+}
+
+TEST(GraphTest, StructuralRevisionIgnoresWeightAndActivity) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 1);
+  const auto s0 = g.structural_revision();
+  const auto r0 = g.revision();
+  g.set_edge_weight(e, 2);
+  g.add_edge_weight(e, 1);
+  g.remove_edge(e);
+  g.restore_edge(e);
+  g.remove_node(2);
+  g.restore_node(2);
+  EXPECT_EQ(g.structural_revision(), s0);  // topology untouched
+  EXPECT_GT(g.revision(), r0);             // but the total revision moved
+  g.add_edge(1, 2, 1);
+  EXPECT_GT(g.structural_revision(), s0);
+  g.add_nodes(1);
+  EXPECT_GT(g.structural_revision(), s0 + 1);
+}
+
+TEST(GraphTest, CsrSnapshotMatchesIncidentListsAndSurvivesWeightMutation) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(0, 3, 4);
+  const CsrAdjacency& csr = g.csr();
+  const CsrAdjacency* built = &csr;
+  ASSERT_EQ(csr.offsets.size(), 5u);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto inc = g.incident_edges(v);
+    const auto begin = static_cast<std::size_t>(csr.offsets[static_cast<std::size_t>(v)]);
+    const auto end = static_cast<std::size_t>(csr.offsets[static_cast<std::size_t>(v) + 1]);
+    ASSERT_EQ(end - begin, inc.size());
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      EXPECT_EQ(csr.edge_id[begin + i], inc[i]);  // insertion order preserved
+      EXPECT_EQ(csr.neighbor[begin + i], g.other_end(inc[i], v));
+    }
+  }
+  // Weight bumps and removals must not rebuild the snapshot; adding an edge
+  // must.
+  g.set_edge_weight(0, 9);
+  g.remove_node(2);
+  EXPECT_EQ(&g.csr(), built);
+  const auto id_before = g.csr().edge_id;
+  g.add_edge(1, 3, 1);
+  EXPECT_NE(g.csr().edge_id, id_before);
+  EXPECT_EQ(g.csr().edge_id.size(), id_before.size() + 2);
+}
+
+TEST(GraphTest, TraversalWeightsTrackUsability) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(g.traversal_weights()[static_cast<std::size_t>(e)], 2.5);
+  g.remove_node(0);
+  EXPECT_EQ(g.traversal_weights()[static_cast<std::size_t>(e)], kInfiniteWeight);
+  g.restore_node(0);
+  g.add_edge_weight(e, 0.5);
+  EXPECT_DOUBLE_EQ(g.traversal_weights()[static_cast<std::size_t>(e)], 3.0);
+  g.remove_edge(e);
+  EXPECT_EQ(g.traversal_weights()[static_cast<std::size_t>(e)], kInfiniteWeight);
+  g.set_edge_weight(e, 7.0);  // weight mutation while unusable
+  g.restore_edge(e);
+  EXPECT_DOUBLE_EQ(g.traversal_weights()[static_cast<std::size_t>(e)], 7.0);
+}
+
+TEST(GraphTest, CopyAndMoveKeepCountersAndRebuildCsr) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 4.0);
+  g.remove_node(2);
+  (void)g.csr();
+  Graph copy = g;
+  EXPECT_EQ(copy.active_edge_count(), 1);
+  EXPECT_DOUBLE_EQ(copy.mean_active_edge_weight(), 2.0);
+  EXPECT_EQ(copy.csr().edge_id.size(), 4u);
+  Graph moved = std::move(copy);
+  EXPECT_EQ(moved.active_edge_count(), 1);
+  EXPECT_EQ(moved.csr().offsets.size(), 4u);
+  moved.add_edge(0, 2, 1.0);  // structurally mutate the moved-to graph
+  EXPECT_EQ(moved.csr().edge_id.size(), 6u);
+  EXPECT_EQ(g.csr().edge_id.size(), 4u);  // source unaffected
 }
 
 TEST(WeightCompareTest, ExactEquality) {

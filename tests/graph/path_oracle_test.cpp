@@ -51,6 +51,56 @@ TEST(PathOracleTest, InvalidatesOnNodeRemoval) {
   EXPECT_DOUBLE_EQ(oracle.distance(grid.node_at(0, 0), grid.node_at(2, 0)), 4);
 }
 
+TEST(PathOracleTest, CountsHitsAndMisses) {
+  GridGraph grid(4, 4);
+  PathOracle oracle(grid.graph());
+  EXPECT_EQ(oracle.cache_hits(), 0u);
+  EXPECT_EQ(oracle.cache_misses(), 0u);
+  oracle.from(0);  // miss
+  oracle.from(0);  // hit
+  oracle.from(5);  // miss
+  EXPECT_EQ(oracle.cache_misses(), 2u);
+  EXPECT_EQ(oracle.cache_hits(), 1u);
+  // Served from node 0's cached tree: a hit, no new run.
+  EXPECT_DOUBLE_EQ(oracle.distance(0, grid.node_at(3, 3)), 6);
+  EXPECT_EQ(oracle.cache_hits(), 2u);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+  EXPECT_DOUBLE_EQ(oracle.hit_rate(), 0.5);
+}
+
+TEST(PathOracleTest, PathBetweenCountsCacheHits) {
+  GridGraph grid(4, 4);
+  PathOracle oracle(grid.graph());
+  oracle.from(0);
+  const auto hits_before = oracle.cache_hits();
+  const auto path = oracle.path_between(0, grid.node_at(3, 3));
+  EXPECT_EQ(path.size(), 6u);
+  EXPECT_EQ(oracle.cache_hits(), hits_before + 1);
+}
+
+TEST(PathOracleTest, UpgradeCountsAsMiss) {
+  GridGraph grid(20, 20);
+  PathOracle oracle(grid.graph());
+  const std::vector<NodeId> net{grid.node_at(0, 0), grid.node_at(1, 1)};
+  oracle.set_scope(net);
+  oracle.from(net[0]);  // bounded: miss
+  ASSERT_FALSE(oracle.cached(net[0])->complete());
+  oracle.from_knowing(net[0], grid.node_at(19, 19));  // hit + upgrade miss
+  EXPECT_EQ(oracle.cache_misses(), 2u);
+  EXPECT_EQ(oracle.cache_hits(), 1u);
+  EXPECT_EQ(oracle.dijkstra_runs(), 2u);
+}
+
+TEST(PathOracleTest, ClearResetsHitCounters) {
+  GridGraph grid(3, 3);
+  PathOracle oracle(grid.graph());
+  oracle.from(0);
+  oracle.from(0);
+  oracle.clear();
+  EXPECT_EQ(oracle.cache_hits(), 0u);
+  EXPECT_EQ(oracle.cache_misses(), 0u);
+}
+
 TEST(PathOracleTest, ClearResetsRunCounter) {
   GridGraph grid(3, 3);
   PathOracle oracle(grid.graph());

@@ -28,6 +28,22 @@ TEST(IgmstTest, IkmbAdoptsTheHub) {
   EXPECT_TRUE(tree.contains_node(4));
 }
 
+TEST(IgmstTest, CandidateEvaluationHitsTheOracleCache) {
+  // The whole point of PathOracle (the paper's "factor out common
+  // computations such as shortest paths"): evaluating many Steiner
+  // candidates against one terminal set must be served mostly from cached
+  // SSSP trees, not fresh Dijkstra runs.
+  const Graph g = testing::random_connected_graph(30, 50, 7);
+  PathOracle oracle(g);
+  std::mt19937_64 rng(7);
+  const auto net = testing::random_net(30, 4, rng);
+  const auto tree = ikmb(g, net, oracle);
+  ASSERT_TRUE(tree.spans(net));
+  EXPECT_GT(oracle.cache_hits(), 0u);
+  EXPECT_GT(oracle.hit_rate(), 0.5);  // candidates vastly outnumber sources
+  EXPECT_LT(oracle.dijkstra_runs(), oracle.cache_hits() + oracle.cache_misses());
+}
+
 TEST(IgmstTest, GreedyStepsMatchWalkthrough) {
   // An instance needing two Steiner points, adopted one per iteration:
   // two hubs, each serving a terminal triple, joined by a bridge.
