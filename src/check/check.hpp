@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpr::check {
+
+/// Outcome of one oracle invocation: empty = the invariant held.
+/// Oracles accumulate every violation they can see (not just the first) so
+/// a fuzz failure report names everything wrong with the instance at once.
+struct CheckResult {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  void fail(std::string what) { violations.push_back(std::move(what)); }
+  void merge(const CheckResult& other) {
+    violations.insert(violations.end(), other.violations.begin(), other.violations.end());
+  }
+
+  /// All violations joined with "; " (empty string when ok).
+  std::string message() const;
+};
+
+}  // namespace fpr::check

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/generate.hpp"
+
+namespace fpr::check {
+
+/// The invariant oracles the fuzzer can drive (see oracles.hpp).
+enum class Oracle {
+  kTreeValidity,  // structural validity of every construction's output
+  kApproxBound,   // heuristic cost vs the exact solver's optimum
+  kMonotonic,     // iterated constructions never worse than their base
+  kFeasibility,   // RoutingResult replay on a fresh device
+};
+
+std::string_view oracle_name(Oracle o);
+std::optional<Oracle> parse_oracle(std::string_view name);
+std::span<const Oracle> all_oracles();
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  int iterations = 1000;          // per oracle
+  std::vector<Oracle> oracles;    // empty = all
+  bool shrink = true;             // minimize failing cases before reporting
+  int max_terminals = 9;          // approximation oracle's exact-DP ceiling
+  /// Restricts which constructions cases are generated for (empty = the
+  /// oracle's default set). Targeted fuzzing of one suspect algorithm.
+  std::vector<Algorithm> algorithms;
+  int max_failures = 10;          // stop an oracle after this many failures
+  std::string failure_dir;        // persist repro files here ("" = don't)
+  std::ostream* log = nullptr;    // progress + failure reporting ("" = silent)
+};
+
+struct FuzzFailure {
+  Oracle oracle = Oracle::kTreeValidity;
+  std::uint64_t case_seed = 0;  // regenerates the ORIGINAL (unshrunk) case
+  int iteration = 0;
+  std::string message;  // the oracle's violations on the minimized case
+  std::string repro;    // minimized case line (TreeCase/CircuitCase::parse format)
+  std::string file;     // persisted repro path ("" when not persisted)
+};
+
+struct FuzzReport {
+  long iterations = 0;  // total oracle invocations across all oracles
+  std::vector<FuzzFailure> failures;
+
+  bool clean() const { return failures.empty(); }
+};
+
+/// Runs `options.iterations` generated cases through each selected oracle.
+/// Deterministic: the case at (seed, oracle, iteration) is always the same.
+/// Failures are shrunk to minimal repros and, when failure_dir is set,
+/// persisted one file per failure (self-contained: the file's `case:` line
+/// replays via replay_file / `fuzz_fpr --replay`).
+FuzzReport fuzz(const FuzzOptions& options);
+
+/// Re-runs the oracle recorded in a persisted repro file. Returns the
+/// oracle's verdict (violations empty = the case no longer fails), or
+/// nullopt if the file cannot be parsed.
+std::optional<CheckResult> replay_file(const std::string& path, std::ostream& log);
+
+/// Re-runs one oracle on an explicit case line (the `case:` payload).
+std::optional<CheckResult> run_case(Oracle oracle, const std::string& case_line,
+                                    int max_terminals = 9);
+
+}  // namespace fpr::check

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/route.hpp"
+#include "fpga/arch.hpp"
+#include "netlist/netlist.hpp"
+#include "router/router.hpp"
+
+namespace fpr::check {
+
+/// splitmix64 finalizer — the single deterministic seed-mixing scheme shared
+/// by the fuzzer and (via tests/test_util.hpp) every test suite. Unlike
+/// std::uniform_int_distribution its output is identical on every platform,
+/// which is what makes persisted repro seeds portable.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) { return mix64(a ^ mix64(b)); }
+
+/// FNV-1a over a string — stable per-suite salt for seeded test RNGs.
+constexpr std::uint64_t salt64(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Tiny self-contained deterministic generator (xorshift-free splitmix64
+/// stream). Good enough for fuzzing; NOT a crypto RNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() { return mix64(state_++); }
+
+  /// Uniform-ish value in [0, bound); bound > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform-ish value in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// A graph + net instance for the tree-level oracles (validity, bound,
+/// monotonicity). Everything needed to rebuild the instance exactly is in
+/// the fields, so a persisted case line IS the repro: the graph is
+/// re-materialized from graph_seed, and the shrinker mutates the fields
+/// directly.
+struct TreeCase {
+  enum class Substrate { kRandomGraph, kGrid };
+
+  Substrate substrate = Substrate::kRandomGraph;
+  std::uint64_t graph_seed = 0;
+  int nodes = 0;        // random-graph substrate
+  int extra_edges = 0;  // random-graph substrate: edges beyond the spanning tree
+  int grid_width = 0;   // grid substrate
+  int grid_height = 0;  // grid substrate
+  int max_weight = 10;  // integral edge weights in [1, max_weight]
+  std::vector<NodeId> terminals;  // terminals[0] is the source
+  Algorithm algorithm = Algorithm::kKmb;
+
+  int node_count() const {
+    return substrate == Substrate::kRandomGraph ? nodes : grid_width * grid_height;
+  }
+
+  /// Rebuilds the exact graph this case describes.
+  Graph materialize() const;
+
+  Net net() const;
+
+  /// One-line key=value serialization (the persisted repro format).
+  std::string describe() const;
+  static std::optional<TreeCase> parse(const std::string& line);
+};
+
+/// An FPGA instance + circuit + router configuration for the feasibility
+/// oracle. The circuit is re-synthesized deterministically from the fields.
+struct CircuitCase {
+  enum class Family { kXc3000, kXc4000 };
+
+  Family family = Family::kXc4000;
+  int rows = 4;
+  int cols = 4;
+  int width = 8;
+  int nets_2_3 = 6;
+  int nets_4_10 = 2;
+  int nets_over_10 = 0;
+  std::uint64_t synth_seed = 0;
+  Algorithm algorithm = Algorithm::kIkmb;
+  bool decompose_two_pin = false;
+
+  ArchSpec arch() const;
+  Circuit circuit() const;
+  RouterOptions router_options() const;
+
+  std::string describe() const;
+  static std::optional<CircuitCase> parse(const std::string& line);
+};
+
+/// Deterministic case generators: the same case_seed always yields the same
+/// instance. `algorithms` restricts which constructions are sampled.
+TreeCase generate_tree_case(std::uint64_t case_seed, int max_terminals,
+                            std::span<const Algorithm> algorithms);
+CircuitCase generate_circuit_case(std::uint64_t case_seed);
+
+/// Inverse of algorithm_name() over every Algorithm (heuristics + exact).
+std::optional<Algorithm> algorithm_from_name(std::string_view name);
+
+}  // namespace fpr::check

@@ -1,0 +1,426 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arbor/exact_gsa.hpp"
+#include "core/metrics.hpp"
+#include "steiner/exact_gmst.hpp"
+
+namespace fpr::check {
+
+std::string CheckResult::message() const {
+  std::string out;
+  for (const auto& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v;
+  }
+  return out;
+}
+
+namespace {
+
+/// Every oracle funnels its result through here so the global counters see
+/// each invocation exactly once.
+CheckResult finish(CheckResult r) {
+  counters().checks_run.fetch_add(1, std::memory_order_relaxed);
+  if (!r.ok()) counters().check_violations.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+std::vector<NodeId> dedupe(std::span<const NodeId> net) {
+  std::vector<NodeId> t(net.begin(), net.end());
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
+}
+
+/// Adjacency rebuilt from the raw edge list — the independent ground truth
+/// the validity oracle compares the container against.
+using Adjacency = std::unordered_map<NodeId, std::vector<std::pair<EdgeId, NodeId>>>;
+
+Adjacency build_adjacency(const Graph& g, std::span<const EdgeId> edges) {
+  Adjacency adj;
+  for (const EdgeId e : edges) {
+    const auto& ed = g.edge(e);
+    adj[ed.u].emplace_back(e, ed.v);
+    adj[ed.v].emplace_back(e, ed.u);
+  }
+  return adj;
+}
+
+/// Weighted distances from `from` over `adj` (BFS; on a tree the unique
+/// path is found regardless of visit order, and on a non-tree the first
+/// arrival gives SOME path, which is all the decomposed mode needs).
+std::unordered_map<NodeId, Weight> distances_in(const Adjacency& adj, const Graph& g,
+                                                NodeId from) {
+  std::unordered_map<NodeId, Weight> dist;
+  if (adj.find(from) == adj.end()) return dist;
+  dist[from] = 0;
+  std::deque<NodeId> frontier{from};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& [e, v] : adj.at(u)) {
+      if (dist.emplace(v, dist[u] + g.edge_weight(e)).second) frontier.push_back(v);
+    }
+  }
+  return dist;
+}
+
+bool all_terminals_reachable(const Graph& g, const Net& net) {
+  PathOracle oracle(g);
+  const auto& spt = oracle.from(net.source);
+  return std::all_of(net.sinks.begin(), net.sinks.end(),
+                     [&](NodeId s) { return spt.reached(s); });
+}
+
+}  // namespace
+
+CheckResult check_tree_validity(const Graph& g, std::span<const NodeId> terminals,
+                                const RoutingTree& tree) {
+  CheckResult r;
+  const auto& edges = tree.edges();
+
+  bool edges_ok = true;
+  for (const EdgeId e : edges) {
+    if (e < 0 || e >= g.edge_count()) {
+      std::ostringstream os;
+      os << "edge id " << e << " out of range (edge_count " << g.edge_count() << ")";
+      r.fail(os.str());
+      edges_ok = false;
+    }
+  }
+  if (!edges_ok) return finish(std::move(r));
+
+  for (const EdgeId e : edges) {
+    if (!g.edge_usable(e)) {
+      std::ostringstream os;
+      os << "edge " << e << " is not usable (inactive edge or endpoint)";
+      r.fail(os.str());
+    }
+  }
+  if (std::unordered_set<EdgeId>(edges.begin(), edges.end()).size() != edges.size()) {
+    r.fail("edge set contains duplicates (container failed to dedupe)");
+  }
+
+  const Adjacency adj = build_adjacency(g, edges);
+
+  // Structure: a connected edge set with |V| == |E| + 1 is a tree.
+  bool structurally_tree = true;
+  if (!edges.empty()) {
+    if (adj.size() != edges.size() + 1) {
+      std::ostringstream os;
+      os << "touches " << adj.size() << " nodes with " << edges.size()
+         << " edges (tree needs exactly edges + 1): cycle or disconnection";
+      r.fail(os.str());
+      structurally_tree = false;
+    }
+    const auto reach = distances_in(adj, g, adj.begin()->first);
+    if (reach.size() != adj.size()) {
+      std::ostringstream os;
+      os << "edge set is disconnected (" << reach.size() << " of " << adj.size()
+         << " touched nodes reachable)";
+      r.fail(os.str());
+      structurally_tree = false;
+    }
+  }
+
+  // Spanning: every terminal touched (a lone terminal tolerates an empty
+  // tree), mutually connected via the structure check above.
+  bool spans = true;
+  if (terminals.size() == 1) {
+    spans = edges.empty() || adj.count(terminals[0]) > 0;
+  } else {
+    for (const NodeId t : terminals) spans = spans && adj.count(t) > 0;
+  }
+  if (!spans) r.fail("tree does not span its terminals");
+
+  // Container bookkeeping vs. scratch recomputation.
+  Weight cost = 0;
+  for (const EdgeId e : edges) cost += g.edge_weight(e);
+  if (!weight_eq(tree.cost(), cost)) {
+    std::ostringstream os;
+    os << "cost() reports " << tree.cost() << ", recomputed " << cost;
+    r.fail(os.str());
+  }
+  if (tree.is_tree() != structurally_tree) {
+    r.fail("is_tree() disagrees with scratch recomputation");
+  }
+  if (tree.spans(terminals) != (spans && structurally_tree)) {
+    // spans() only needs terminal connectivity, so on a valid tree the
+    // verdicts must coincide; report a disagreement only when the structure
+    // is otherwise sound (a cyclic edge set can legitimately differ).
+    if (structurally_tree) r.fail("spans() disagrees with scratch recomputation");
+  }
+
+  if (structurally_tree && spans && !terminals.empty()) {
+    const auto dist = distances_in(adj, g, terminals[0]);
+    Weight worst = 0;
+    for (std::size_t i = 1; i < terminals.size(); ++i) {
+      const auto it = dist.find(terminals[i]);
+      if (it == dist.end()) continue;  // disconnection already reported
+      worst = std::max(worst, it->second);
+      const Weight reported = tree.path_length(terminals[0], terminals[i]);
+      if (!weight_eq(reported, it->second)) {
+        std::ostringstream os;
+        os << "path_length to terminal " << terminals[i] << " reports " << reported
+           << ", recomputed " << it->second;
+        r.fail(os.str());
+      }
+    }
+    const Weight reported_max =
+        tree.max_path_length(terminals[0], terminals.subspan(1));
+    if (terminals.size() >= 2 && !weight_eq(reported_max, worst)) {
+      std::ostringstream os;
+      os << "max_path_length reports " << reported_max << ", recomputed " << worst;
+      r.fail(os.str());
+    }
+  }
+  return finish(std::move(r));
+}
+
+CheckResult check_approximation_bound(const Graph& g, const Net& net, Algorithm algorithm,
+                                      int max_terminals) {
+  CheckResult r;
+  const std::vector<NodeId> terminals = net.terminals();
+  const std::vector<NodeId> distinct = dedupe(terminals);
+  if (distinct.size() < 2 || static_cast<int>(distinct.size()) > max_terminals) {
+    return finish(std::move(r));  // out of the oracle's scope
+  }
+  if (!all_terminals_reachable(g, net)) return finish(std::move(r));  // unroutable net
+
+  PathOracle oracle(g);
+  const RoutingTree tree = route(g, net, algorithm, oracle);
+  r.merge(check_tree_validity(g, terminals, tree));
+  if (!r.ok()) return finish(std::move(r));
+  const Weight cost = tree.cost();
+
+  if (is_arborescence_algorithm(algorithm)) {
+    // The arborescence guarantee: every sink at exact graph distance.
+    for (const NodeId s : net.sinks) {
+      const Weight in_tree = tree.path_length(net.source, s);
+      const Weight shortest = oracle.distance(net.source, s);
+      if (!weight_eq(in_tree, shortest)) {
+        std::ostringstream os;
+        os << algorithm_name(algorithm) << " tree path to sink " << s << " costs " << in_tree
+           << ", graph shortest path is " << shortest;
+        r.fail(os.str());
+      }
+    }
+    if (const auto opt = exact_gsa(g, terminals, oracle, max_terminals)) {
+      if (weight_lt(cost, opt->cost())) {
+        std::ostringstream os;
+        os << algorithm_name(algorithm) << " cost " << cost
+           << " beats the exact GSA optimum " << opt->cost() << " (exact solver broken?)";
+        r.fail(os.str());
+      }
+    }
+    return finish(std::move(r));
+  }
+
+  const auto opt = exact_gmst(g, distinct, oracle, max_terminals);
+  if (!opt) {
+    r.fail("exact GMST solver declined a connected in-scope net");
+    return finish(std::move(r));
+  }
+  r.merge(check_tree_validity(g, distinct, *opt));
+  const Weight opt_cost = opt->cost();
+  const double factor =
+      (algorithm == Algorithm::kZel || algorithm == Algorithm::kIzel) ? 11.0 / 6.0 : 2.0;
+  if (weight_lt(factor * opt_cost, cost)) {
+    std::ostringstream os;
+    os << algorithm_name(algorithm) << " cost " << cost << " exceeds " << factor << " * OPT ("
+       << opt_cost << ") — approximation bound violated";
+    r.fail(os.str());
+  }
+  if (weight_lt(cost, opt_cost)) {
+    std::ostringstream os;
+    os << algorithm_name(algorithm) << " cost " << cost << " beats the exact optimum "
+       << opt_cost << " (exact solver broken?)";
+    r.fail(os.str());
+  }
+  return finish(std::move(r));
+}
+
+CheckResult check_iterated_monotonicity(const Graph& g, const Net& net) {
+  CheckResult r;
+  const std::vector<NodeId> distinct = dedupe(net.terminals());
+  if (distinct.size() < 2) return finish(std::move(r));
+  if (!all_terminals_reachable(g, net)) return finish(std::move(r));
+
+  const std::pair<Algorithm, Algorithm> pairs[] = {
+      {Algorithm::kKmb, Algorithm::kIkmb},
+      {Algorithm::kZel, Algorithm::kIzel},
+      {Algorithm::kDom, Algorithm::kIdom},
+  };
+  for (const auto& [base_algo, iterated_algo] : pairs) {
+    PathOracle oracle(g);
+    const RoutingTree base = route(g, net, base_algo, oracle);
+    const RoutingTree iterated = route(g, net, iterated_algo, oracle);
+    if (!base.spans(distinct) || !iterated.spans(distinct)) {
+      std::ostringstream os;
+      os << algorithm_name(base_algo) << "/" << algorithm_name(iterated_algo)
+         << " failed to span a routable net";
+      r.fail(os.str());
+      continue;
+    }
+    if (weight_lt(base.cost(), iterated.cost())) {
+      std::ostringstream os;
+      os << algorithm_name(iterated_algo) << " cost " << iterated.cost() << " exceeds its base "
+         << algorithm_name(base_algo) << " cost " << base.cost()
+         << " — iterated construction is not monotone";
+      r.fail(os.str());
+    }
+  }
+  return finish(std::move(r));
+}
+
+CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circuit,
+                                      const RoutingResult& result,
+                                      const RouterOptions& options) {
+  CheckResult r;
+  if (result.nets.size() != circuit.nets.size()) {
+    std::ostringstream os;
+    os << "result records " << result.nets.size() << " nets, circuit has "
+       << circuit.nets.size();
+    r.fail(os.str());
+    return finish(std::move(r));
+  }
+
+  Device device(arch);
+  const Graph& g = device.graph();
+  std::unordered_map<NodeId, std::size_t> wire_owner;  // wire node -> net index
+  std::map<std::tuple<int, int, int>, int> tile_tracks_used;  // (dir, x, y) -> wires
+  long total_wires = 0;
+  long total_physical_wirelength = 0;
+  long total_physical_max_path = 0;
+
+  for (std::size_t i = 0; i < result.nets.size(); ++i) {
+    const NetRouteResult& nr = result.nets[i];
+    const Net net = to_graph_net(device, circuit.nets[i]);
+    std::ostringstream where;
+    where << "net " << i << ": ";
+
+    if (net.sinks.empty()) {  // all pins on one block
+      if (!nr.routed) r.fail(where.str() + "single-block net not marked routed");
+      if (!nr.edges.empty()) r.fail(where.str() + "single-block net holds edges");
+      continue;
+    }
+    if (!nr.routed) {
+      if (result.success) r.fail(where.str() + "unrouted although result.success");
+      continue;
+    }
+
+    bool edges_ok = true;
+    for (const EdgeId e : nr.edges) {
+      if (e < 0 || e >= g.edge_count()) {
+        std::ostringstream os;
+        os << where.str() << "edge id " << e << " outside the device graph";
+        r.fail(os.str());
+        edges_ok = false;
+      }
+    }
+    if (!edges_ok) continue;
+
+    const std::vector<NodeId> terminals = net.terminals();
+    const RoutingTree tree(g, nr.edges);
+    if (options.decompose_two_pin) {
+      // The baseline's union of two-pin paths need not be a tree; only
+      // pin connectivity is promised.
+      if (!tree.spans(terminals)) r.fail(where.str() + "source and sinks not connected");
+    } else {
+      CheckResult validity = check_tree_validity(g, terminals, tree);
+      for (auto& v : validity.violations) r.fail(where.str() + v);
+    }
+
+    // Wire exclusivity + channel capacity, replayed on the fresh device.
+    int wires = 0;
+    for (const NodeId v : tree.nodes()) {
+      if (!device.is_wire(v)) continue;
+      ++wires;
+      const auto [it, fresh] = wire_owner.emplace(v, i);
+      if (!fresh && it->second != i) {
+        std::ostringstream os;
+        os << where.str() << "wire node " << v << " already consumed by net " << it->second;
+        r.fail(os.str());
+        continue;
+      }
+      const Device::WireRef ref = device.wire_ref(v);
+      if (ref.track < 0 || ref.track >= arch.channel_width) {
+        std::ostringstream os;
+        os << where.str() << "wire node " << v << " decodes to track " << ref.track
+           << " outside channel width " << arch.channel_width;
+        r.fail(os.str());
+      }
+      if (fresh) {
+        int& used = tile_tracks_used[{static_cast<int>(ref.dir), ref.x, ref.y}];
+        if (++used > arch.channel_width) {
+          std::ostringstream os;
+          os << where.str() << "channel tile (" << ref.x << ", " << ref.y << ") uses " << used
+             << " tracks, capacity " << arch.channel_width;
+          r.fail(os.str());
+        }
+      }
+    }
+
+    if (wires != nr.wire_nodes_used) {
+      std::ostringstream os;
+      os << where.str() << "wire_nodes_used records " << nr.wire_nodes_used << ", replay found "
+         << wires;
+      r.fail(os.str());
+    }
+    if (static_cast<int>(nr.edges.size()) != nr.physical_wirelength) {
+      std::ostringstream os;
+      os << where.str() << "physical_wirelength records " << nr.physical_wirelength << " for "
+         << nr.edges.size() << " edges";
+      r.fail(os.str());
+    }
+    const int replay_max_path = tree.max_path_edge_count(net.source, net.sinks);
+    if (replay_max_path < 0) {
+      r.fail(where.str() + "some sink unreachable inside the committed edge set");
+    } else if (options.decompose_two_pin ? replay_max_path > nr.physical_max_path
+                                         : replay_max_path != nr.physical_max_path) {
+      // Decomposed unions can offer hop shortcuts through shared block
+      // nodes, so the replayed BFS bound may only be tighter, never looser.
+      std::ostringstream os;
+      os << where.str() << "physical_max_path records " << nr.physical_max_path
+         << ", replay found " << replay_max_path;
+      r.fail(os.str());
+    }
+    total_wires += wires;
+    total_physical_wirelength += nr.physical_wirelength;
+    total_physical_max_path += nr.physical_max_path;
+  }
+
+  if (result.success && result.failed_nets != 0) {
+    r.fail("result.success with nonzero failed_nets");
+  }
+  if (total_wires != result.total_wire_nodes) {
+    std::ostringstream os;
+    os << "total_wire_nodes records " << result.total_wire_nodes << ", replay found "
+       << total_wires;
+    r.fail(os.str());
+  }
+  if (total_physical_wirelength != result.total_physical_wirelength) {
+    std::ostringstream os;
+    os << "total_physical_wirelength records " << result.total_physical_wirelength
+       << ", replay found " << total_physical_wirelength;
+    r.fail(os.str());
+  }
+  if (total_physical_max_path != result.total_physical_max_path) {
+    std::ostringstream os;
+    os << "total_physical_max_path records " << result.total_physical_max_path
+       << ", replay found " << total_physical_max_path;
+    r.fail(os.str());
+  }
+  return finish(std::move(r));
+}
+
+}  // namespace fpr::check

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+
+#include "check/check.hpp"
+#include "core/route.hpp"
+#include "fpga/arch.hpp"
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "router/router.hpp"
+
+namespace fpr::check {
+
+/// Invariant oracles: each one re-derives a guarantee of the paper (or of
+/// this implementation's containers) FROM SCRATCH and compares it against
+/// what the production code reports. None of them trusts the incremental
+/// bookkeeping it is checking — the validity oracle builds its own adjacency
+/// from the raw edge list, the feasibility oracle replays a RoutingResult
+/// against a freshly built device, the bound oracle runs the exact solver.
+///
+/// Every oracle bumps counters().checks_run, and counters().check_violations
+/// when it fails, so harnesses can assert they actually executed.
+
+/// Routing-tree structural validity: every edge usable in g, connected,
+/// acyclic (|V| == |E| + 1), spans `terminals` (terminals[0] is the source),
+/// and the container's incremental answers — cost(), path_length(),
+/// is_tree(), spans() — match values recomputed from the raw edge set.
+CheckResult check_tree_validity(const Graph& g, std::span<const NodeId> terminals,
+                                const RoutingTree& tree);
+
+/// Approximation-bound oracle (nets with at most `max_terminals` distinct
+/// pins; larger nets are skipped, reported as ok):
+///  - KMB/IKMB cost <= 2 * OPT and ZEL/IZEL cost <= 11/6 * OPT, with OPT
+///    from the exact GMST subset DP (and cost >= OPT, which also cross-
+///    checks the exact solver);
+///  - DJKA/DOM/PFA/IDOM: every sink is reached at exact graph distance (the
+///    arborescence guarantee), and cost >= the exact GSA optimum.
+CheckResult check_approximation_bound(const Graph& g, const Net& net, Algorithm algorithm,
+                                      int max_terminals = 9);
+
+/// Iterated-construction monotonicity (Section 3: IGMST's bound is never
+/// worse than its base heuristic's): cost(IKMB) <= cost(KMB),
+/// cost(IZEL) <= cost(ZEL), cost(IDOM) <= cost(DOM) on the same instance.
+CheckResult check_iterated_monotonicity(const Graph& g, const Net& net);
+
+/// Router feasibility oracle: replays `result` against a FRESH device built
+/// from `arch` (no state shared with the router that produced it):
+///  - success implies every multi-pin net routed;
+///  - each routed net's edge set exists in the device graph, connects the
+///    net's source block to every sink block, and (whole-net algorithms)
+///    forms a structurally valid tree;
+///  - wire capacity: no wire node is used by two different nets, and no
+///    channel tile uses more tracks than the architecture has;
+///  - accounting: per-net wire_nodes_used / physical_wirelength /
+///    physical_max_path and the result's totals match recomputed values.
+CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circuit,
+                                      const RoutingResult& result,
+                                      const RouterOptions& options);
+
+}  // namespace fpr::check

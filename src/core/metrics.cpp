@@ -5,8 +5,22 @@
 
 namespace fpr {
 
+void Counters::reset() {
+  trees_measured.store(0, std::memory_order_relaxed);
+  checks_run.store(0, std::memory_order_relaxed);
+  check_violations.store(0, std::memory_order_relaxed);
+  fuzz_cases.store(0, std::memory_order_relaxed);
+  shrink_steps.store(0, std::memory_order_relaxed);
+}
+
+Counters& counters() {
+  static Counters instance;
+  return instance;
+}
+
 TreeMetrics measure(const Graph& g, const Net& net, const RoutingTree& tree, PathOracle& oracle) {
   (void)g;
+  counters().trees_measured.fetch_add(1, std::memory_order_relaxed);
   TreeMetrics m;
   m.wirelength = tree.cost();
   const std::vector<NodeId> terminals = net.terminals();

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/net.hpp"
@@ -8,6 +10,28 @@
 #include "graph/routing_tree.hpp"
 
 namespace fpr {
+
+/// Process-wide observability counters, bumped by measure() and by the
+/// src/check oracle/fuzz subsystem. Atomic so the parallel sweeps can bump
+/// them from worker threads.
+///
+/// They are RESETTABLE (reset(), and test fixtures call reset in SetUp) so
+/// that any test asserting on them is order-independent: under `ctest -j`
+/// or gtest shuffling, whatever ran earlier in the same process must not
+/// leak into the assertion.
+struct Counters {
+  std::atomic<std::uint64_t> trees_measured{0};   // measure() calls
+  std::atomic<std::uint64_t> checks_run{0};       // check-oracle invocations
+  std::atomic<std::uint64_t> check_violations{0}; // failed oracle invocations
+  std::atomic<std::uint64_t> fuzz_cases{0};       // generated fuzz cases
+  std::atomic<std::uint64_t> shrink_steps{0};     // accepted shrink mutations
+
+  /// Zeroes every counter.
+  void reset();
+};
+
+/// The process-global counter instance.
+Counters& counters();
 
 /// The two quality measures of the paper's evaluation (Table 1), plus the
 /// flags the tests assert on.

@@ -56,7 +56,10 @@ bool RoutingTree::is_tree() const {
 
 bool RoutingTree::spans(std::span<const NodeId> terminals) const {
   if (terminals.empty()) return true;
-  if (terminals.size() == 1) return true;  // a lone terminal needs no wiring
+  // A lone terminal needs no wiring, but a NON-empty tree must still touch
+  // it: otherwise the terminal sits at degree 0 beside wiring that connects
+  // nothing of the net, and the edge-level checks alone would accept it.
+  if (terminals.size() == 1) return edges_.empty() || contains_node(terminals[0]);
   for (const NodeId t : terminals) {
     if (!contains_node(t)) return false;
   }

@@ -35,7 +35,9 @@ class RoutingTree {
   bool is_tree() const;
 
   /// True iff every terminal is touched and they are mutually connected.
-  /// A single-terminal net is spanned by an empty tree.
+  /// A single-terminal net is spanned by an empty tree; a non-empty tree
+  /// spans a lone terminal only if it actually touches it (a terminal left
+  /// at degree 0 next to unrelated wiring is rejected).
   bool spans(std::span<const NodeId> terminals) const;
 
   /// Cost of the unique tree path between two touched nodes

@@ -1,11 +1,22 @@
 #pragma once
 
+#include <atomic>
 #include <span>
 
 #include "graph/path_oracle.hpp"
 #include "graph/routing_tree.hpp"
 
 namespace fpr {
+
+namespace testhooks {
+/// Test-only fault injection for the fuzz harness's mutation smoke test
+/// (tests/check/mutation_smoke_test.cpp): when set, KMB picks the MAXIMUM
+/// spanning tree of the distance graph instead of the minimum. The result
+/// is still a valid spanning tree of the net — it passes every structural
+/// oracle — but its cost blows through the 2*OPT bound, which is exactly
+/// what the approximation-bound oracle must detect. Never set outside tests.
+extern std::atomic<bool> kmb_invert_mst_selection;
+}  // namespace testhooks
 
 /// The graph Steiner tree heuristic of Kou, Markowsky and Berman [26]
 /// (paper Appendix 8.1). Performance ratio 2*(1 - 1/L), L = max leaves in

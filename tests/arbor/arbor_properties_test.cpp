@@ -27,7 +27,7 @@ class ArborFamilyTest : public ::testing::TestWithParam<Case> {};
 TEST_P(ArborFamilyTest, AllConstructionsGiveOptimalPathlengths) {
   const auto [seed, pins] = GetParam();
   const auto g = testing::random_connected_graph(30, 50, seed);
-  std::mt19937_64 rng(seed * 5 + 2);
+  std::mt19937_64 rng(testing::seeded_rng("arbor_properties/distance", seed));
   const auto net = testing::random_net(30, pins, rng);
   PathOracle oracle(g);
   const auto& spt = oracle.from(net[0]);
@@ -47,7 +47,7 @@ TEST_P(ArborFamilyTest, AllConstructionsGiveOptimalPathlengths) {
 TEST_P(ArborFamilyTest, WirelengthOrdering) {
   const auto [seed, pins] = GetParam();
   const auto g = testing::random_connected_graph(30, 50, seed);
-  std::mt19937_64 rng(seed * 5 + 3);
+  std::mt19937_64 rng(testing::seeded_rng("arbor_properties/cost", seed));
   const auto net = testing::random_net(30, pins, rng);
   PathOracle oracle(g);
 
@@ -70,7 +70,7 @@ TEST_P(ArborFamilyTest, WirelengthOrdering) {
 TEST_P(ArborFamilyTest, GridInstances) {
   const auto [seed, pins] = GetParam();
   GridGraph grid(10, 10);
-  std::mt19937_64 rng(seed * 5 + 4);
+  std::mt19937_64 rng(testing::seeded_rng("arbor_properties/iterated", seed));
   const auto net = testing::random_net(100, pins, rng);
   PathOracle oracle(grid.graph());
   const auto& spt = oracle.from(net[0]);

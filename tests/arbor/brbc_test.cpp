@@ -40,7 +40,7 @@ TEST(BrbcTest, HugeEpsilonKeepsKmbCost) {
 TEST(BrbcTest, RadiusBoundHolds) {
   for (unsigned seed = 0; seed < 10; ++seed) {
     const auto g = testing::random_connected_graph(35, 60, seed);
-    std::mt19937_64 rng(seed + 40);
+    std::mt19937_64 rng(testing::seeded_rng("brbc/radius", seed));
     const auto net = testing::random_net(35, 6, rng);
     for (const double epsilon : {0.0, 0.25, 0.5, 1.0, 2.0}) {
       PathOracle oracle(g);
@@ -59,7 +59,7 @@ TEST(BrbcTest, RadiusBoundHolds) {
 TEST(BrbcTest, CostBoundHolds) {
   for (unsigned seed = 0; seed < 10; ++seed) {
     const auto g = testing::random_connected_graph(30, 50, seed);
-    std::mt19937_64 rng(seed + 60);
+    std::mt19937_64 rng(testing::seeded_rng("brbc/cost", seed));
     const auto net = testing::random_net(30, 5, rng);
     PathOracle oracle(g);
     const Weight base_cost = kmb(g, net, oracle).cost();
@@ -78,7 +78,7 @@ TEST(BrbcTest, PaperClaimIdomDominatesAtEpsilonZero) {
   const int trials = 10;
   for (unsigned seed = 0; seed < trials; ++seed) {
     const auto g = testing::random_connected_graph(30, 50, seed + 100);
-    std::mt19937_64 rng(seed + 200);
+    std::mt19937_64 rng(testing::seeded_rng("brbc/tradeoff", seed));
     const auto net = testing::random_net(30, 5, rng);
     PathOracle oracle(g);
     const auto spt_tree = brbc(g, net, 0.0, oracle);

@@ -58,7 +58,7 @@ TEST(DomTest, IndependentArmsCostFullDistance) {
 TEST(DomTest, WorksOnWeightedRandomGraphs) {
   for (unsigned seed = 0; seed < 8; ++seed) {
     const auto g = testing::random_connected_graph(40, 70, seed);
-    std::mt19937_64 rng(seed + 77);
+    std::mt19937_64 rng(testing::seeded_rng("dom", seed));
     const auto net = testing::random_net(40, 6, rng);
     PathOracle oracle(g);
     const auto tree = dom(g, net, oracle);

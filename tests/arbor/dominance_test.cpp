@@ -99,7 +99,7 @@ class DominancePropertyTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(DominancePropertyTest, DefinitionHoldsOnRandomGraphs) {
   const auto g = testing::random_connected_graph(30, 45, GetParam());
-  std::mt19937_64 rng(GetParam() + 50);
+  std::mt19937_64 rng(testing::seeded_rng("dominance", GetParam()));
   const auto picks = testing::random_net(30, 3, rng);
   PathOracle oracle(g);
   const NodeId n0 = picks[0], p = picks[1], s = picks[2];

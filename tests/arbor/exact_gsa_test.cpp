@@ -69,7 +69,7 @@ class ExactGsaPropertyTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(ExactGsaPropertyTest, SandwichedBetweenGmstAndHeuristics) {
   const auto g = testing::random_connected_graph(25, 40, GetParam());
-  std::mt19937_64 rng(GetParam() + 3000);
+  std::mt19937_64 rng(testing::seeded_rng("exact_gsa/brute", GetParam()));
   const auto net = testing::random_net(25, 5, rng);
   PathOracle oracle(g);
   const auto gsa = exact_gsa(g, net, oracle);
@@ -90,7 +90,7 @@ TEST_P(ExactGsaPropertyTest, SandwichedBetweenGmstAndHeuristics) {
 
 TEST_P(ExactGsaPropertyTest, EverySinkAtGraphDistance) {
   const auto g = testing::random_connected_graph(25, 40, GetParam());
-  std::mt19937_64 rng(GetParam() + 4000);
+  std::mt19937_64 rng(testing::seeded_rng("exact_gsa/bound", GetParam()));
   const auto net = testing::random_net(25, 4, rng);
   PathOracle oracle(g);
   const auto gsa = exact_gsa(g, net, oracle);

@@ -29,7 +29,7 @@ TEST(IdomTest, AdoptsSteinerMeetPoint) {
 TEST(IdomTest, NeverWorseThanDom) {
   for (unsigned seed = 0; seed < 8; ++seed) {
     const auto g = testing::random_connected_graph(30, 50, seed);
-    std::mt19937_64 rng(seed + 321);
+    std::mt19937_64 rng(testing::seeded_rng("idom", seed));
     const auto net = testing::random_net(30, 5, rng);
     PathOracle oracle(g);
     const auto base = dom(g, net, oracle);

@@ -54,7 +54,7 @@ TEST(PfaTest, PathlengthsAlwaysOptimalOnRandomGrids) {
 TEST(PfaTest, PathlengthsOptimalOnWeightedRandomGraphs) {
   for (unsigned seed = 0; seed < 8; ++seed) {
     const auto g = testing::random_connected_graph(35, 60, seed);
-    std::mt19937_64 rng(seed + 123);
+    std::mt19937_64 rng(testing::seeded_rng("pfa", seed));
     const auto net = testing::random_net(35, 5, rng);
     PathOracle oracle(g);
     const auto tree = pfa(g, net, oracle);

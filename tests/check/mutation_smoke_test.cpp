@@ -1,0 +1,99 @@
+// Mutation smoke test: deliberately break KMB's spanning-tree selection
+// (testhooks::kmb_invert_mst_selection makes it pick the MAXIMUM spanning
+// tree of the distance graph) and prove the approximation-bound oracle
+// catches the 2x-OPT violation quickly, with a minimized repro.
+//
+// The mutated output is still a structurally valid routing tree, so this
+// also demonstrates the oracles have disjoint power: validity alone would
+// wave the broken algorithm through.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "check/fuzz.hpp"
+#include "check/oracles.hpp"
+#include "core/metrics.hpp"
+#include "steiner/kmb.hpp"
+
+namespace fpr::check {
+namespace {
+
+class MutationSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    counters().reset();
+    testhooks::kmb_invert_mst_selection.store(true);
+  }
+  void TearDown() override { testhooks::kmb_invert_mst_selection.store(false); }
+};
+
+TEST_F(MutationSmokeTest, ApproxOracleCatchesBrokenKmbWithin200Iterations) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "mutation-fuzz-failures";
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 200;
+  options.oracles = {Oracle::kApproxBound};
+  // Targeted fuzzing: the fault lives in KMB's spanning-tree selection, so
+  // restrict generation to the two constructions that run that code path.
+  options.algorithms = {Algorithm::kKmb, Algorithm::kZel};
+  options.max_failures = 1;  // first catch is enough for the smoke test
+  options.failure_dir = dir.string();
+  options.log = nullptr;
+  const FuzzReport report = fuzz(options);
+
+  ASSERT_FALSE(report.clean()) << "broken KMB survived 200 approx-oracle iterations";
+  const FuzzFailure& f = report.failures.front();
+  EXPECT_LT(f.iteration, 200);
+  EXPECT_FALSE(f.repro.empty());
+  EXPECT_FALSE(f.message.empty());
+
+  // The minimized repro is a parsable case that still fails the oracle.
+  const auto minimized = TreeCase::parse(f.repro);
+  ASSERT_TRUE(minimized.has_value()) << f.repro;
+  const auto rerun = run_case(Oracle::kApproxBound, f.repro);
+  ASSERT_TRUE(rerun.has_value());
+  EXPECT_FALSE(rerun->ok()) << "minimized repro no longer fails: " << f.repro;
+
+  // ...and it was persisted as a self-contained file that replays.
+  ASSERT_FALSE(f.file.empty());
+  EXPECT_TRUE(std::filesystem::exists(f.file));
+  std::ostringstream log;
+  const auto replayed = replay_file(f.file, log);
+  ASSERT_TRUE(replayed.has_value()) << log.str();
+  EXPECT_FALSE(replayed->ok());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(MutationSmokeTest, MutatedTreeIsStillStructurallyValid) {
+  // The fault is subtle by design: the validity oracle alone cannot see it.
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 60;
+  options.oracles = {Oracle::kTreeValidity};
+  options.log = nullptr;
+  EXPECT_TRUE(fuzz(options).clean());
+}
+
+TEST_F(MutationSmokeTest, SameSeedIsCleanWithoutTheMutation) {
+  // Control: the exact run of the first test passes once the hook is off,
+  // pinning the failures on the injected fault rather than the oracle.
+  testhooks::kmb_invert_mst_selection.store(false);
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 200;
+  options.oracles = {Oracle::kApproxBound};
+  options.algorithms = {Algorithm::kKmb, Algorithm::kZel};
+  options.log = nullptr;
+  EXPECT_TRUE(fuzz(options).clean());
+}
+
+}  // namespace
+}  // namespace fpr::check

@@ -8,6 +8,23 @@
 namespace fpr {
 namespace {
 
+TEST(MetricsTest, GlobalCountersTrackMeasurementsAndReset) {
+  // counters() is process-global; reset first so the assertion holds under
+  // any ctest -j interleaving (see TESTING.md).
+  counters().reset();
+  GridGraph grid(4, 4);
+  Net net;
+  net.source = grid.node_at(0, 0);
+  net.sinks = {grid.node_at(2, 2)};
+  PathOracle oracle(grid.graph());
+  const auto tree = route(grid.graph(), net, Algorithm::kKmb, oracle);
+  (void)measure(grid.graph(), net, tree, oracle);
+  (void)measure(grid.graph(), net, tree, oracle);
+  EXPECT_EQ(counters().trees_measured.load(), 2u);
+  counters().reset();
+  EXPECT_EQ(counters().trees_measured.load(), 0u);
+}
+
 TEST(MetricsTest, MeasuresWirelengthAndPaths) {
   GridGraph grid(6, 6);
   Net net;

@@ -96,7 +96,7 @@ class DijkstraDifferentialTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(DijkstraDifferentialTest, RandomGraphWithInterleavedMutations) {
   const unsigned seed = GetParam();
-  std::mt19937_64 rng(seed * 7919 + 13);
+  std::mt19937_64 rng(testing::seeded_rng("dijkstra_differential/scoped", seed));
   std::uniform_int_distribution<NodeId> size(5, 80);
   const NodeId n = size(rng);
   std::uniform_int_distribution<EdgeId> extra(0, n * 2);
@@ -111,7 +111,7 @@ TEST_P(DijkstraDifferentialTest, RandomGraphWithInterleavedMutations) {
 
 TEST_P(DijkstraDifferentialTest, GridGraphWithInterleavedMutations) {
   const unsigned seed = GetParam();
-  std::mt19937_64 rng(seed * 104729 + 1);
+  std::mt19937_64 rng(testing::seeded_rng("dijkstra_differential/arena", seed));
   GridGraph grid(12 + static_cast<int>(seed % 5), 10 + static_cast<int>(seed % 7));
   Graph& g = grid.graph();
 

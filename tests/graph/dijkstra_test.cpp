@@ -155,7 +155,7 @@ class DijkstraPropertyTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(DijkstraPropertyTest, SymmetricAndTriangle) {
   const auto g = testing::random_connected_graph(40, 60, GetParam());
-  std::mt19937_64 rng(GetParam() * 31 + 1);
+  std::mt19937_64 rng(testing::seeded_rng("dijkstra", GetParam()));
   const auto net = testing::random_net(40, 3, rng);
   const auto a = dijkstra(g, net[0]);
   const auto b = dijkstra(g, net[1]);

@@ -24,6 +24,17 @@ TEST_F(RoutingTreeTest, EmptyTree) {
   EXPECT_FALSE(t.spans(two));
 }
 
+TEST_F(RoutingTreeTest, NonEmptyTreeMustContainLoneTerminal) {
+  // Regression: spans() used to return true for ANY single-terminal query,
+  // even when a non-empty tree did not touch that terminal — a wiring for
+  // the wrong net passed as a routing of a lone pin.
+  RoutingTree t(grid_.graph(), {grid_.horizontal_edge(0, 0)});
+  const std::vector<NodeId> elsewhere{grid_.node_at(3, 3)};
+  EXPECT_FALSE(t.spans(elsewhere));
+  const std::vector<NodeId> touched{grid_.node_at(0, 0)};
+  EXPECT_TRUE(t.spans(touched));
+}
+
 TEST_F(RoutingTreeTest, DedupesEdges) {
   const EdgeId e = grid_.horizontal_edge(0, 0);
   RoutingTree t(grid_.graph(), {e, e, e});

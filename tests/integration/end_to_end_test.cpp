@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "check/oracles.hpp"
 #include "experiments/tables23.hpp"
 #include "io/text_io.hpp"
 #include "netlist/synth.hpp"
@@ -81,6 +82,65 @@ TEST(EndToEndTest, AllAlgorithmsCompleteTheSameCircuit) {
     options.algorithm = algo;
     const RoutingResult r = route_circuit(device, circuit, options);
     EXPECT_TRUE(r.success) << algorithm_name(algo);
+  }
+}
+
+// The full Table-1 algorithm suite against both device families the paper
+// evaluates. Every cell of the matrix must (a) route the circuit and (b)
+// survive the feasibility oracle's independent replay: legal edges,
+// exclusive wire usage, channel capacity, and recomputed accounting.
+TEST(EndToEndTest, EightAlgorithmDeviceFamilyMatrixIsFeasible) {
+  struct FamilyCell {
+    const char* name;
+    ArchSpec arch;
+    Circuit circuit;
+  };
+  // Small bespoke circuits keep the 16-cell matrix inside tier-1 wall-clock
+  // (the published profiles take ~1 min through the iterated algorithms).
+  CircuitProfile profile;
+  profile.name = "matrix";
+  profile.rows = profile.cols = 5;
+  profile.nets_2_3 = 10;
+  profile.nets_4_10 = 3;
+  const Circuit xc3000_circuit = synthesize_circuit(profile, 47);
+  const Circuit xc4000_circuit = synthesize_circuit(profile, 48);
+  const std::vector<FamilyCell> families{
+      {"XC3000", ArchSpec::xc3000(xc3000_circuit.rows, xc3000_circuit.cols, 12),
+       xc3000_circuit},
+      {"XC4000", ArchSpec::xc4000(xc4000_circuit.rows, xc4000_circuit.cols, 12),
+       xc4000_circuit},
+  };
+  for (const FamilyCell& cell : families) {
+    for (const Algorithm algo : table1_algorithms()) {
+      Device device(cell.arch);
+      RouterOptions options;
+      options.algorithm = algo;
+      const RoutingResult r = route_circuit(device, cell.circuit, options);
+      EXPECT_TRUE(r.success) << cell.name << " x " << algorithm_name(algo);
+      const check::CheckResult feasible =
+          check::check_routing_feasibility(cell.arch, cell.circuit, r, options);
+      EXPECT_TRUE(feasible.ok())
+          << cell.name << " x " << algorithm_name(algo) << ": " << feasible.message();
+    }
+  }
+}
+
+// Same matrix through the two-pin decomposition baseline — the feasibility
+// oracle's relaxed replay mode (paths may reconverge through shared block
+// nodes) must hold there too.
+TEST(EndToEndTest, MatrixRemainsFeasibleUnderTwoPinDecomposition) {
+  const Circuit circuit = synthesize_circuit(xc4000_profiles()[2], 53);
+  const ArchSpec arch = ArchSpec::xc4000(circuit.rows, circuit.cols, 12);
+  for (const Algorithm algo : {Algorithm::kKmb, Algorithm::kIdom}) {
+    Device device(arch);
+    RouterOptions options;
+    options.algorithm = algo;
+    options.decompose_two_pin = true;
+    const RoutingResult r = route_circuit(device, circuit, options);
+    EXPECT_TRUE(r.success) << algorithm_name(algo);
+    const check::CheckResult feasible =
+        check::check_routing_feasibility(arch, circuit, r, options);
+    EXPECT_TRUE(feasible.ok()) << algorithm_name(algo) << ": " << feasible.message();
   }
 }
 

@@ -65,7 +65,7 @@ class ExactGmstPropertyTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(ExactGmstPropertyTest, MatchesBruteForce) {
   const auto g = testing::random_connected_graph(11, 12, GetParam());
-  std::mt19937_64 rng(GetParam() + 1000);
+  std::mt19937_64 rng(testing::seeded_rng("exact_gmst/brute", GetParam()));
   const auto net = testing::random_net(11, 4, rng);
   const auto tree = exact_gmst(g, net);
   ASSERT_TRUE(tree.has_value());
@@ -77,7 +77,7 @@ TEST_P(ExactGmstPropertyTest, MatchesBruteForce) {
 
 TEST_P(ExactGmstPropertyTest, ReconstructionCostMatchesDpValueOnGrids) {
   GridGraph grid(6, 6);
-  std::mt19937_64 rng(GetParam() + 2000);
+  std::mt19937_64 rng(testing::seeded_rng("exact_gmst/bound", GetParam()));
   const auto net = testing::random_net(36, 5, rng);
   const auto tree = exact_gmst(grid.graph(), net);
   ASSERT_TRUE(tree.has_value());

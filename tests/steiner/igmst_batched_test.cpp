@@ -29,7 +29,7 @@ TEST(IgmstBatchedTest, StillFindsTheHub) {
 TEST(IgmstBatchedTest, NeverWorseThanPlainHeuristic) {
   for (unsigned seed = 0; seed < 10; ++seed) {
     const auto g = testing::random_connected_graph(30, 50, seed);
-    std::mt19937_64 rng(seed + 31);
+    std::mt19937_64 rng(testing::seeded_rng("igmst_batched/equivalence", seed));
     const auto net = testing::random_net(30, 6, rng);
     PathOracle oracle(g);
     const auto plain = kmb(g, net, oracle);
@@ -47,7 +47,7 @@ TEST(IgmstBatchedTest, QualityCloseToSequential) {
   double batched_total = 0, sequential_total = 0;
   for (unsigned seed = 0; seed < 12; ++seed) {
     const auto g = testing::random_connected_graph(30, 50, seed + 500);
-    std::mt19937_64 rng(seed + 77);
+    std::mt19937_64 rng(testing::seeded_rng("igmst_batched/monotonic", seed));
     const auto net = testing::random_net(30, 6, rng);
     PathOracle oracle(g);
     sequential_total += ikmb(g, net, oracle).cost();

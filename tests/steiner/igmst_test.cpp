@@ -139,7 +139,7 @@ class IgmstPropertyTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(IgmstPropertyTest, NeverWorseThanUnderlyingHeuristic) {
   const auto g = testing::random_connected_graph(30, 50, GetParam());
-  std::mt19937_64 rng(GetParam() + 900);
+  std::mt19937_64 rng(testing::seeded_rng("igmst/kmb_base", GetParam()));
   const auto net = testing::random_net(30, 5, rng);
   PathOracle oracle(g);
   const auto plain_kmb = kmb(g, net, oracle);
@@ -155,7 +155,7 @@ TEST_P(IgmstPropertyTest, NeverWorseThanUnderlyingHeuristic) {
 
 TEST_P(IgmstPropertyTest, OutputIsSteinerTreeWithTerminalLeaves) {
   const auto g = testing::random_connected_graph(25, 40, GetParam());
-  std::mt19937_64 rng(GetParam() + 901);
+  std::mt19937_64 rng(testing::seeded_rng("igmst/zel_base", GetParam()));
   const auto net = testing::random_net(25, 4, rng);
   PathOracle oracle(g);
   const auto tree = ikmb(g, net, oracle);

@@ -100,7 +100,7 @@ class KmbBoundTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(KmbBoundTest, WithinTwiceOptimal) {
   const auto g = testing::random_connected_graph(12, 14, GetParam());
-  std::mt19937_64 rng(GetParam() + 100);
+  std::mt19937_64 rng(testing::seeded_rng("kmb", GetParam()));
   const auto net = testing::random_net(12, 4, rng);
   const auto tree = kmb(g, net);
   ASSERT_TRUE(tree.spans(net));

@@ -24,7 +24,7 @@ class SteinerFamilyTest : public ::testing::TestWithParam<Case> {};
 TEST_P(SteinerFamilyTest, BoundChainOnRandomGraphs) {
   const auto [seed, pins] = GetParam();
   const auto g = testing::random_connected_graph(22, 30, seed);
-  std::mt19937_64 rng(seed * 7 + 13);
+  std::mt19937_64 rng(testing::seeded_rng("steiner_properties/kmb", seed));
   const auto net = testing::random_net(22, pins, rng);
   PathOracle oracle(g);
 
@@ -53,7 +53,7 @@ TEST_P(SteinerFamilyTest, BoundChainOnRandomGraphs) {
 TEST_P(SteinerFamilyTest, GridInstancesStaySane) {
   const auto [seed, pins] = GetParam();
   GridGraph grid(9, 9);
-  std::mt19937_64 rng(seed * 11 + 1);
+  std::mt19937_64 rng(testing::seeded_rng("steiner_properties/zel", seed));
   const auto net = testing::random_net(81, pins, rng);
   PathOracle oracle(grid.graph());
   const auto ik = ikmb(grid.graph(), net, oracle);

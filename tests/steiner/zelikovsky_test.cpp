@@ -73,7 +73,7 @@ class ZelBoundTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(ZelBoundTest, WithinElevenSixthsOptimal) {
   const auto g = testing::random_connected_graph(12, 14, GetParam());
-  std::mt19937_64 rng(GetParam() + 500);
+  std::mt19937_64 rng(testing::seeded_rng("zelikovsky", GetParam()));
   const auto net = testing::random_net(12, 5, rng);
   const auto tree = zelikovsky(g, net);
   ASSERT_TRUE(tree.spans(net));

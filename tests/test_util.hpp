@@ -3,13 +3,24 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string_view>
 #include <vector>
 
+#include "check/generate.hpp"
 #include "graph/graph.hpp"
 #include "graph/grid.hpp"
 #include "graph/mst.hpp"
 
 namespace fpr::testing {
+
+/// The one seed-derivation scheme shared by every suite: a per-suite FNV
+/// salt mixed with the case index through splitmix64. Replaces the ad-hoc
+/// `seed * 7 + 13`-style formulas that used to be copy-pasted per suite —
+/// two suites iterating the same indices no longer correlate, and a seed
+/// printed in a failure message names its suite unambiguously.
+constexpr std::uint64_t seeded_rng(std::string_view suite, std::uint64_t index) {
+  return check::mix64(check::salt64(suite), index);
+}
 
 /// Random connected weighted graph: a random spanning tree plus extra
 /// random edges, integral weights in [1, max_weight]. Deterministic per
