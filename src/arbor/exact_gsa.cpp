@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "arbor/arbor_common.hpp"
+#include "core/contract.hpp"
 
 namespace fpr {
 
@@ -134,7 +135,8 @@ std::optional<RoutingTree> exact_gsa(const Graph& g, std::span<const NodeId> net
         stack.emplace_back(mask, c.child);
         break;
       case Choice::Kind::kNone:
-        assert(false && "reconstruction reached an unset dp cell");
+        FPR_CHECK(false, "exact GSA reconstruction reached an unset dp cell (mask " << mask
+                             << ", node " << v << ")");
         break;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "arbor/arbor_common.hpp"
 #include "arbor/dominance.hpp"
+#include "core/contract.hpp"
 
 namespace fpr {
 
@@ -47,7 +48,9 @@ RoutingTree pfa(const Graph& g, std::span<const NodeId> net, PathOracle& oracle)
         }
       }
     }
-    assert(best_m != kInvalidNode && "reachable nodes always share the source as a MaxDom");
+    FPR_CHECK(best_m != kInvalidNode,
+              "PFA merge selection found no meeting node — reachable nodes always share the "
+              "source as a MaxDom");
     merges.push_back(Merge{best_m, active[best_i], active[best_j]});
     active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_j));
     active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_i));

@@ -14,11 +14,12 @@ namespace fpr::check {
 
 namespace {
 
-constexpr std::array<Oracle, 4> kOracles{
+constexpr std::array<Oracle, 5> kOracles{
     Oracle::kTreeValidity,
     Oracle::kApproxBound,
     Oracle::kMonotonic,
     Oracle::kFeasibility,
+    Oracle::kFaults,
 };
 
 /// Validity fuzzes every construction including the exact solvers (whose
@@ -49,7 +50,8 @@ CheckResult run_tree_oracle(Oracle oracle, const TreeCase& c, int max_terminals)
     case Oracle::kMonotonic:
       return check_iterated_monotonicity(g, net);
     case Oracle::kFeasibility:
-      break;  // not a tree-level oracle
+    case Oracle::kFaults:
+      break;  // not tree-level oracles
   }
   CheckResult r;
   r.fail("internal: tree case routed to a non-tree oracle");
@@ -61,8 +63,14 @@ CheckResult run_circuit_oracle(const CircuitCase& c) {
   const Circuit circuit = c.circuit();
   const RouterOptions options = c.router_options();
   Device device(arch);
+  if (c.faults.any()) device.install_faults(c.faults);
   const RoutingResult result = route_circuit(device, circuit, options);
-  return check_routing_feasibility(arch, circuit, result, options);
+  return check_routing_feasibility(arch, circuit, result, options,
+                                   c.faults.any() ? &c.faults : nullptr);
+}
+
+bool is_circuit_oracle(Oracle o) {
+  return o == Oracle::kFeasibility || o == Oracle::kFaults;
 }
 
 void persist_failure(FuzzFailure& f, const FuzzOptions& options) {
@@ -91,6 +99,7 @@ std::string_view oracle_name(Oracle o) {
     case Oracle::kApproxBound: return "approx";
     case Oracle::kMonotonic: return "monotonic";
     case Oracle::kFeasibility: return "feasibility";
+    case Oracle::kFaults: return "faults";
   }
   return "?";
 }
@@ -106,7 +115,7 @@ std::span<const Oracle> all_oracles() { return kOracles; }
 
 std::optional<CheckResult> run_case(Oracle oracle, const std::string& case_line,
                                     int max_terminals) {
-  if (oracle == Oracle::kFeasibility) {
+  if (is_circuit_oracle(oracle)) {
     const auto c = CircuitCase::parse(case_line);
     if (!c) return std::nullopt;
     return run_circuit_oracle(*c);
@@ -134,8 +143,9 @@ FuzzReport fuzz(const FuzzOptions& options) {
 
       CheckResult result;
       std::string case_line;
-      if (oracle == Oracle::kFeasibility) {
-        CircuitCase c = generate_circuit_case(case_seed);
+      if (is_circuit_oracle(oracle)) {
+        CircuitCase c = oracle == Oracle::kFaults ? generate_fault_circuit_case(case_seed)
+                                                  : generate_circuit_case(case_seed);
         if (!options.algorithms.empty()) {
           c.algorithm = options.algorithms[mix64(case_seed, 0x5eed) % options.algorithms.size()];
         }

@@ -19,6 +19,8 @@ enum class Oracle {
   kApproxBound,   // heuristic cost vs the exact solver's optimum
   kMonotonic,     // iterated constructions never worse than their base
   kFeasibility,   // RoutingResult replay on a fresh device
+  kFaults,        // feasibility replay on a fault-injected device: routed
+                  // nets avoid defects, degradation stats are consistent
 };
 
 std::string_view oracle_name(Oracle o);

@@ -165,6 +165,7 @@ RouterOptions CircuitCase::router_options() const {
   // Bound fuzz wall-clock: an instance the router cannot finish in 8 passes
   // is reported as a (valid) failure outcome, which the oracle still checks.
   o.max_passes = 8;
+  o.node_budget = node_budget;
   return o;
 }
 
@@ -204,9 +205,24 @@ std::optional<CircuitCase> CircuitCase::parse(const std::string& line) {
       c.algorithm = *a;
     } else if (key == "decompose") {
       c.decompose_two_pin = value == "1";
+    } else if (key == "fault_seed") {
+      c.faults.seed = std::stoull(value);
+    } else if (key == "fault_wires") {
+      c.faults.wire_permille = std::stoi(value);
+    } else if (key == "fault_switches") {
+      c.faults.switch_permille = std::stoi(value);
+    } else if (key == "fault_pins") {
+      c.faults.pin_permille = std::stoi(value);
+    } else if (key == "fault_clusters") {
+      c.faults.clusters = std::stoi(value);
+    } else if (key == "fault_radius") {
+      c.faults.cluster_radius = std::stoi(value);
+    } else if (key == "budget") {
+      c.node_budget = std::stoll(value);
     }
   }
   if (c.rows < 1 || c.cols < 1 || c.width < 1) return std::nullopt;
+  if (!c.faults.valid() || c.node_budget < 0) return std::nullopt;
   return c;
 }
 
@@ -248,6 +264,23 @@ CircuitCase generate_circuit_case(std::uint64_t case_seed) {
   c.synth_seed = rng.below(0xffffffffull);
   c.algorithm = table1_algorithms()[rng.below(table1_algorithms().size())];
   c.decompose_two_pin = rng.below(8) == 0;
+  return c;
+}
+
+CircuitCase generate_fault_circuit_case(std::uint64_t case_seed) {
+  CircuitCase c = generate_circuit_case(case_seed);
+  Rng rng(mix64(case_seed, salt64("fault-case")));
+  c.faults.seed = rng.next();
+  // Moderate rates: high enough that most cases carry real defects, low
+  // enough that many still route (both branches of the oracle exercised).
+  c.faults.wire_permille = rng.range(0, 60);
+  c.faults.switch_permille = rng.range(0, 60);
+  c.faults.pin_permille = rng.range(0, 40);
+  c.faults.clusters = rng.below(4) == 0 ? 1 : 0;
+  c.faults.cluster_radius = 1;
+  // Occasionally strangle the router mid-circuit: the oracle must hold for
+  // partial budget-aborted results too.
+  if (rng.below(4) == 0) c.node_budget = 20'000 + 1000 * rng.range(0, 40);
   return c;
 }
 

@@ -7,55 +7,22 @@
 #include <string_view>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "core/route.hpp"
 #include "fpga/arch.hpp"
+#include "fpga/faults.hpp"
 #include "netlist/netlist.hpp"
 #include "router/router.hpp"
 
 namespace fpr::check {
 
-/// splitmix64 finalizer — the single deterministic seed-mixing scheme shared
-/// by the fuzzer and (via tests/test_util.hpp) every test suite. Unlike
-/// std::uniform_int_distribution its output is identical on every platform,
-/// which is what makes persisted repro seeds portable.
-constexpr std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) { return mix64(a ^ mix64(b)); }
-
-/// FNV-1a over a string — stable per-suite salt for seeded test RNGs.
-constexpr std::uint64_t salt64(std::string_view name) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-/// Tiny self-contained deterministic generator (xorshift-free splitmix64
-/// stream). Good enough for fuzzing; NOT a crypto RNG.
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed) {}
-
-  std::uint64_t next() { return mix64(state_++); }
-
-  /// Uniform-ish value in [0, bound); bound > 0.
-  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
-
-  /// Uniform-ish value in [lo, hi] inclusive.
-  int range(int lo, int hi) {
-    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
-  }
-
- private:
-  std::uint64_t state_;
-};
+// The deterministic seed-mixing scheme lives in core/rng.hpp so the fault
+// model (fpga layer) samples from the exact same splitmix64 streams as the
+// fuzzer and the test suites; these aliases keep the historical
+// fpr::check:: spelling working.
+using fpr::mix64;
+using fpr::salt64;
+using Rng = fpr::SplitMixRng;
 
 /// A graph + net instance for the tree-level oracles (validity, bound,
 /// monotonicity). Everything needed to rebuild the instance exactly is in
@@ -105,6 +72,13 @@ struct CircuitCase {
   Algorithm algorithm = Algorithm::kIkmb;
   bool decompose_two_pin = false;
 
+  /// Defect distribution installed on the probe device before routing
+  /// (faults.any() == false leaves the device pristine) and work budget for
+  /// the router (0 = unlimited) — the fault-oracle dimensions. Serialized
+  /// only when non-default, so pre-fault repro lines parse unchanged.
+  FaultSpec faults{};
+  long long node_budget = 0;
+
   ArchSpec arch() const;
   Circuit circuit() const;
   RouterOptions router_options() const;
@@ -118,6 +92,11 @@ struct CircuitCase {
 TreeCase generate_tree_case(std::uint64_t case_seed, int max_terminals,
                             std::span<const Algorithm> algorithms);
 CircuitCase generate_circuit_case(std::uint64_t case_seed);
+
+/// A circuit case with a sampled defect distribution (and sometimes a work
+/// budget) layered on top of generate_circuit_case — the fault oracle's
+/// generator.
+CircuitCase generate_fault_circuit_case(std::uint64_t case_seed);
 
 /// Inverse of algorithm_name() over every Algorithm (heuristics + exact).
 std::optional<Algorithm> algorithm_from_name(std::string_view name);

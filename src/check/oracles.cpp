@@ -284,7 +284,8 @@ CheckResult check_iterated_monotonicity(const Graph& g, const Net& net) {
 
 CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circuit,
                                       const RoutingResult& result,
-                                      const RouterOptions& options) {
+                                      const RouterOptions& options,
+                                      const FaultSpec* faults) {
   CheckResult r;
   if (result.nets.size() != circuit.nets.size()) {
     std::ostringstream os;
@@ -295,6 +296,8 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
   }
 
   Device device(arch);
+  if (faults != nullptr && faults->any()) device.install_faults(*faults);
+  const FaultModel* fault_model = device.faults();
   const Graph& g = device.graph();
   std::unordered_map<NodeId, std::size_t> wire_owner;  // wire node -> net index
   std::map<std::tuple<int, int, int>, int> tile_tracks_used;  // (dir, x, y) -> wires
@@ -309,11 +312,11 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
     where << "net " << i << ": ";
 
     if (net.sinks.empty()) {  // all pins on one block
-      if (!nr.routed) r.fail(where.str() + "single-block net not marked routed");
+      if (!nr.routed()) r.fail(where.str() + "single-block net not marked routed");
       if (!nr.edges.empty()) r.fail(where.str() + "single-block net holds edges");
       continue;
     }
-    if (!nr.routed) {
+    if (!nr.routed()) {
       if (result.success) r.fail(where.str() + "unrouted although result.success");
       continue;
     }
@@ -328,6 +331,26 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
       }
     }
     if (!edges_ok) continue;
+
+    // Defect avoidance: a routed net must not touch any injected fault.
+    // (Tree validity below also rejects unusable edges, but these messages
+    // name the defect explicitly.)
+    if (fault_model != nullptr) {
+      for (const EdgeId e : nr.edges) {
+        if (fault_model->edge_faulted(e)) {
+          std::ostringstream os;
+          os << where.str() << "route traverses faulted edge " << e;
+          r.fail(os.str());
+        }
+        for (const NodeId v : {g.edge(e).u, g.edge(e).v}) {
+          if (device.is_wire(v) && fault_model->wire_faulted(v)) {
+            std::ostringstream os;
+            os << where.str() << "route occupies faulted wire node " << v;
+            r.fail(os.str());
+          }
+        }
+      }
+    }
 
     const std::vector<NodeId> terminals = net.terminals();
     const RoutingTree tree(g, nr.edges);
@@ -401,6 +424,45 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
 
   if (result.success && result.failed_nets != 0) {
     r.fail("result.success with nonzero failed_nets");
+  }
+
+  // Degradation-statistics consistency: the summary counters must be exact
+  // recounts of the per-net statuses, and budget aborts imply the run-level
+  // budget_exhausted flag (and vice versa).
+  int blocked = 0;
+  int aborted = 0;
+  int rerouted = 0;
+  for (const NetRouteResult& nr : result.nets) {
+    blocked += nr.status == NetStatus::kBlockedByFault ? 1 : 0;
+    aborted += nr.status == NetStatus::kAbortedBudget ? 1 : 0;
+    rerouted += nr.routed() && nr.retries > 0 ? 1 : 0;
+  }
+  if (blocked != result.nets_blocked_by_fault) {
+    std::ostringstream os;
+    os << "nets_blocked_by_fault records " << result.nets_blocked_by_fault << ", statuses say "
+       << blocked;
+    r.fail(os.str());
+  }
+  if (aborted != result.nets_aborted_budget) {
+    std::ostringstream os;
+    os << "nets_aborted_budget records " << result.nets_aborted_budget << ", statuses say "
+       << aborted;
+    r.fail(os.str());
+  }
+  if (rerouted != result.nets_rerouted_around_faults) {
+    std::ostringstream os;
+    os << "nets_rerouted_around_faults records " << result.nets_rerouted_around_faults
+       << ", statuses say " << rerouted;
+    r.fail(os.str());
+  }
+  if (result.budget_exhausted != (aborted > 0)) {
+    std::ostringstream os;
+    os << "budget_exhausted=" << result.budget_exhausted << " inconsistent with " << aborted
+       << " kAbortedBudget nets";
+    r.fail(os.str());
+  }
+  if (blocked > 0 && (faults == nullptr || !faults->any())) {
+    r.fail("kBlockedByFault nets reported on a device with no installed faults");
   }
   if (total_wires != result.total_wire_nodes) {
     std::ostringstream os;

@@ -52,9 +52,19 @@ CheckResult check_iterated_monotonicity(const Graph& g, const Net& net);
 ///  - wire capacity: no wire node is used by two different nets, and no
 ///    channel tile uses more tracks than the architecture has;
 ///  - accounting: per-net wire_nodes_used / physical_wirelength /
-///    physical_max_path and the result's totals match recomputed values.
+///    physical_max_path and the result's totals match recomputed values;
+///  - status consistency: NetStatus::kRouted iff the net holds a route,
+///    and the degradation counters (nets_blocked_by_fault,
+///    nets_aborted_budget, nets_rerouted_around_faults, budget_exhausted)
+///    match the per-net statuses they summarize.
+///
+/// When `faults` is given, the replay device gets the same defect set
+/// installed, and the oracle additionally asserts that no routed net
+/// occupies a faulted wire segment or traverses a dead switch/pin edge —
+/// the core guarantee of defect-aware routing.
 CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circuit,
                                       const RoutingResult& result,
-                                      const RouterOptions& options);
+                                      const RouterOptions& options,
+                                      const FaultSpec* faults = nullptr);
 
 }  // namespace fpr::check

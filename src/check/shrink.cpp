@@ -146,6 +146,32 @@ std::vector<CircuitCase> circuit_candidates(const CircuitCase& c) {
     m.width = c.width - 1;
     push(std::move(m));
   }
+  // Fault-dimension moves: drop whole defect categories first (most
+  // aggressive), then halve rates; lift the budget last. A case that still
+  // fails with a category zeroed pins the bug to the remaining knobs.
+  const auto with_faults = [&](auto mutate) {
+    CircuitCase m = c;
+    mutate(m);
+    push(std::move(m));
+  };
+  if (c.faults.wire_permille > 0) {
+    with_faults([](CircuitCase& m) { m.faults.wire_permille = 0; });
+    with_faults([](CircuitCase& m) { m.faults.wire_permille /= 2; });
+  }
+  if (c.faults.switch_permille > 0) {
+    with_faults([](CircuitCase& m) { m.faults.switch_permille = 0; });
+    with_faults([](CircuitCase& m) { m.faults.switch_permille /= 2; });
+  }
+  if (c.faults.pin_permille > 0) {
+    with_faults([](CircuitCase& m) { m.faults.pin_permille = 0; });
+    with_faults([](CircuitCase& m) { m.faults.pin_permille /= 2; });
+  }
+  if (c.faults.clusters > 0) {
+    with_faults([](CircuitCase& m) { m.faults.clusters = 0; });
+  }
+  if (c.node_budget > 0) {
+    with_faults([](CircuitCase& m) { m.node_budget = 0; });  // 0 = unlimited
+  }
   return out;
 }
 

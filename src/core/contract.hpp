@@ -1,0 +1,58 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// FPR_CHECK — always-on precondition checking with context.
+///
+/// The repo's public containers (Graph, Device, GridGraph, the workload
+/// builders) used to guard their preconditions with bare assert(), which
+/// (a) compiles out of Release builds, turning misuse into silent memory
+/// corruption, and (b) reports no context — no node/edge/width ids, just a
+/// stringified condition. FPR_CHECK is the single replacement: the condition
+/// is always evaluated, and a violation throws fpr::ContractViolation whose
+/// message carries the failed condition, the source location, and a
+/// caller-supplied streamed context expression:
+///
+///   FPR_CHECK(u >= 0 && u < node_count(),
+///             "add_edge endpoint u=" << u << " outside node range [0, "
+///                                    << node_count() << ")");
+///
+/// Throwing (rather than aborting) keeps misuse testable — negative tests
+/// simply EXPECT_THROW — and lets long-running services degrade gracefully
+/// instead of dying on one malformed request. The checks guard O(1)
+/// comparisons at API boundaries, not inner loops, so the always-on cost is
+/// noise (the Dijkstra hot path contains none).
+///
+/// Header-only and layer-free (like core/rng.hpp): the bottom-of-stack
+/// graph library uses it without linking fpr_core.
+namespace fpr {
+
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* condition, const char* file, int line,
+                                          const std::string& context) {
+  std::ostringstream os;
+  os << "FPR_CHECK failed: " << condition << " [" << file << ":" << line << "]";
+  if (!context.empty()) os << " — " << context;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace fpr
+
+#define FPR_CHECK(condition, context_stream)                                     \
+  do {                                                                           \
+    if (!(condition)) {                                                          \
+      std::ostringstream fpr_check_os_;                                          \
+      fpr_check_os_ << context_stream; /* NOLINT */                              \
+      ::fpr::detail::contract_failure(#condition, __FILE__, __LINE__,            \
+                                      fpr_check_os_.str());                      \
+    }                                                                            \
+  } while (false)

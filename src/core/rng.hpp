@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// Deterministic, platform-portable seed mixing shared by the fault model
+/// (src/fpga/faults), the property fuzzer (src/check), and — via
+/// tests/test_util.hpp — every test suite.
+///
+/// Header-only and dependency-free on purpose: it sits below every layer of
+/// the library stack (fpga and graph may use it without linking fpr_core).
+/// Unlike std::uniform_int_distribution the outputs are identical on every
+/// platform and standard library, which is what makes persisted repro seeds
+/// and committed fault-sweep records portable.
+namespace fpr {
+
+/// splitmix64 finalizer — the single seed-mixing primitive.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) { return mix64(a ^ mix64(b)); }
+
+/// FNV-1a over a string — stable salt derived from a name (test-suite names,
+/// fault-category tags).
+constexpr std::uint64_t salt64(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Tiny self-contained deterministic generator (counter-mode splitmix64
+/// stream). Good enough for fuzzing and fault sampling; NOT a crypto RNG.
+class SplitMixRng {
+ public:
+  explicit SplitMixRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() { return mix64(state_++); }
+
+  /// Uniform-ish value in [0, bound); bound > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform-ish value in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fpr

@@ -1,7 +1,6 @@
 #include "fpga/device.hpp"
 
-#include <cassert>
-
+#include "core/contract.hpp"
 #include "fpga/switchbox.hpp"
 
 namespace fpr {
@@ -21,7 +20,9 @@ std::vector<int> fc_tracks(int fc, int channel_width) {
 }  // namespace
 
 Device::Device(const ArchSpec& spec) : spec_(spec) {
-  assert(spec.valid());
+  FPR_CHECK(spec.valid(), "Device spec " << spec.rows << "x" << spec.cols << " width "
+                                         << spec.channel_width
+                                         << " — rows/cols/channel_width must all be >= 1");
   const int rows = spec_.rows;
   const int cols = spec_.cols;
   const int w = spec_.channel_width;
@@ -47,6 +48,8 @@ Device::Device(const ArchSpec& spec) : spec_(spec) {
       }
     }
   }
+
+  connection_edge_count_ = graph_.edge_count();
 
   // Switch blocks: at every channel intersection (x, y), x in [0, cols],
   // y in [0, rows], connect the wire segments of every pair of present
@@ -82,22 +85,31 @@ Device::Device(const ArchSpec& spec) : spec_(spec) {
 }
 
 NodeId Device::block_node(int x, int y) const {
-  assert(x >= 0 && x < spec_.cols && y >= 0 && y < spec_.rows);
+  FPR_CHECK(x >= 0 && x < spec_.cols && y >= 0 && y < spec_.rows,
+            "block_node (" << x << ", " << y << ") outside the " << spec_.cols << "x"
+                           << spec_.rows << " array");
   return static_cast<NodeId>(y * spec_.cols + x);
 }
 
 NodeId Device::wire_node(Dir dir, int x, int y, int track) const {
   const int w = spec_.channel_width;
   if (dir == Dir::kHorizontal) {
-    assert(x >= 0 && x < spec_.cols && y >= 0 && y <= spec_.rows && track >= 0 && track < w);
+    FPR_CHECK(x >= 0 && x < spec_.cols && y >= 0 && y <= spec_.rows && track >= 0 && track < w,
+              "horizontal wire_node (" << x << ", " << y << ") track " << track
+                                       << " outside the " << spec_.cols << "x" << spec_.rows
+                                       << " array at width " << w);
     return hwire_base_ + static_cast<NodeId>((y * spec_.cols + x) * w + track);
   }
-  assert(x >= 0 && x <= spec_.cols && y >= 0 && y < spec_.rows && track >= 0 && track < w);
+  FPR_CHECK(x >= 0 && x <= spec_.cols && y >= 0 && y < spec_.rows && track >= 0 && track < w,
+            "vertical wire_node (" << x << ", " << y << ") track " << track << " outside the "
+                                   << spec_.cols << "x" << spec_.rows << " array at width "
+                                   << w);
   return vwire_base_ + static_cast<NodeId>((y * (spec_.cols + 1) + x) * w + track);
 }
 
 Device::WireRef Device::wire_ref(NodeId v) const {
-  assert(is_wire(v));
+  FPR_CHECK(is_wire(v), "wire_ref(" << v << ") — node is not a wire (wires are ["
+                                    << block_count_ << ", " << graph_.node_count() << "))");
   const int w = spec_.channel_width;
   WireRef ref;
   if (v < vwire_base_) {
@@ -132,7 +144,22 @@ int Device::used_wire_count() const {
   for (NodeId v = block_count_; v < graph_.node_count(); ++v) {
     if (!graph_.node_active(v)) ++used;
   }
+  // Faulted wires are permanently inactive but were never consumed by a
+  // net; reporting them as "used" would make degradation stats double-count
+  // defects as routing demand.
+  if (faults_ != nullptr) used -= static_cast<int>(faults_->dead_wires().size());
   return used;
+}
+
+void Device::install_faults(const FaultSpec& spec) {
+  FPR_CHECK(spec.valid(), "install_faults: invalid spec " << spec.describe());
+  faults_ = std::make_shared<const FaultModel>(FaultModel::draw(*this, spec));
+  reset();
+}
+
+void Device::clear_faults() {
+  faults_.reset();
+  reset();
 }
 
 void Device::reset() {
@@ -142,6 +169,12 @@ void Device::reset() {
   for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
     if (!graph_.edge_active(e)) graph_.restore_edge(e);
     if (graph_.edge_weight(e) != 1.0) graph_.set_edge_weight(e, 1.0);
+  }
+  if (faults_ != nullptr) {
+    // Defects outlive routing state: every pass starts from the same
+    // faulted-but-empty device.
+    for (const NodeId v : faults_->dead_wires()) graph_.remove_node(v);
+    for (const EdgeId e : faults_->dead_edges()) graph_.remove_edge(e);
   }
 }
 

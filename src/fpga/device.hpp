@@ -1,8 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "fpga/arch.hpp"
+#include "fpga/faults.hpp"
 #include "graph/graph.hpp"
 
 namespace fpr {
@@ -59,10 +61,35 @@ class Device {
   int block_count() const { return block_count_; }
   int wire_count() const { return graph_.node_count() - block_count_; }
 
-  /// Number of wire nodes currently consumed (inactive).
+  /// Edge-id classification: the constructor adds every connection-block
+  /// edge before the first switch-block edge, so one boundary id splits
+  /// the two categories. The fault model uses this to target dead
+  /// connection-block pins vs dead switchbox connections separately.
+  bool is_connection_edge(EdgeId e) const { return e >= 0 && e < connection_edge_count_; }
+  bool is_switch_edge(EdgeId e) const {
+    return e >= connection_edge_count_ && e < graph_.edge_count();
+  }
+
+  /// Number of wire nodes currently consumed by nets (inactive and NOT
+  /// faulted — injected defects are permanent, not routing state).
   int used_wire_count() const;
 
-  /// Restores every node/edge to active and every weight to the base 1.0.
+  /// Draws the defect set `spec` induces on this device (FaultModel::draw)
+  /// and applies it. Faults are persistent: every subsequent reset()
+  /// restores the base state and then re-applies them, so rip-up passes
+  /// never resurrect a dead wire. Replaces any previously installed fault
+  /// set. FPR_CHECKs that the spec is valid.
+  void install_faults(const FaultSpec& spec);
+
+  /// Removes every injected fault and restores the pristine device.
+  void clear_faults();
+
+  /// The installed fault set, or nullptr for a pristine device.
+  const FaultModel* faults() const { return faults_.get(); }
+  bool has_faults() const { return faults_ != nullptr && !faults_->empty(); }
+
+  /// Restores every node/edge to active and every weight to the base 1.0,
+  /// then re-applies the installed faults (if any).
   void reset();
 
  private:
@@ -71,6 +98,10 @@ class Device {
   NodeId block_count_ = 0;
   NodeId hwire_base_ = 0;  // first horizontal wire node
   NodeId vwire_base_ = 0;  // first vertical wire node
+  EdgeId connection_edge_count_ = 0;  // edges below this id are CB edges
+  // shared_ptr so Device copies (one per width probe) share the immutable
+  // model instead of re-sampling it.
+  std::shared_ptr<const FaultModel> faults_;
 };
 
 }  // namespace fpr

@@ -1,13 +1,14 @@
 #include "fpga/device3d.hpp"
 
-#include <cassert>
+#include "core/contract.hpp"
 
 #include "fpga/switchbox.hpp"
 
 namespace fpr {
 
 Device3d::Device3d(const Arch3dSpec& spec) : spec_(spec) {
-  assert(spec.valid());
+  FPR_CHECK(spec.valid(), "Device3D spec with " << spec.layers
+                              << " layers — layers >= 1 and a valid per-layer spec required");
   const ArchSpec& a = spec_.layer;
   const int rows = a.rows, cols = a.cols, w = a.channel_width;
 
@@ -82,8 +83,11 @@ Device3d::Device3d(const Arch3dSpec& spec) : spec_(spec) {
 }
 
 NodeId Device3d::block_node(int layer, int x, int y) const {
-  assert(layer >= 0 && layer < spec_.layers);
-  assert(x >= 0 && x < spec_.layer.cols && y >= 0 && y < spec_.layer.rows);
+  FPR_CHECK(layer >= 0 && layer < spec_.layers,
+            "block_node layer " << layer << " outside [0, " << spec_.layers << ")");
+  FPR_CHECK(x >= 0 && x < spec_.layer.cols && y >= 0 && y < spec_.layer.rows,
+            "block_node (" << x << ", " << y << ") outside the " << spec_.layer.cols << "x"
+                           << spec_.layer.rows << " layer");
   return static_cast<NodeId>(layer) * per_layer_nodes_ +
          static_cast<NodeId>(y * spec_.layer.cols + x);
 }
@@ -92,10 +96,14 @@ NodeId Device3d::wire_node(int layer, Dir dir, int x, int y, int track) const {
   const int w = spec_.layer.channel_width;
   const NodeId base = static_cast<NodeId>(layer) * per_layer_nodes_;
   if (dir == Dir::kHorizontal) {
-    assert(x >= 0 && x < spec_.layer.cols && y >= 0 && y <= spec_.layer.rows);
+    FPR_CHECK(x >= 0 && x < spec_.layer.cols && y >= 0 && y <= spec_.layer.rows,
+              "horizontal wire_node (" << x << ", " << y << ") outside the " << spec_.layer.cols
+                                       << "x" << spec_.layer.rows << " layer");
     return base + hwire_base_ + static_cast<NodeId>((y * spec_.layer.cols + x) * w + track);
   }
-  assert(x >= 0 && x <= spec_.layer.cols && y >= 0 && y < spec_.layer.rows);
+  FPR_CHECK(x >= 0 && x <= spec_.layer.cols && y >= 0 && y < spec_.layer.rows,
+            "vertical wire_node (" << x << ", " << y << ") outside the " << spec_.layer.cols
+                                   << "x" << spec_.layer.rows << " layer");
   return base + vwire_base_ + static_cast<NodeId>((y * (spec_.layer.cols + 1) + x) * w + track);
 }
 

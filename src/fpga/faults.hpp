@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace fpr {
+
+class Device;
+
+/// Declarative description of a defect distribution for one device —
+/// the knobs of the fault-injection layer (ISSUE 4; cf. VTR's per-resource
+/// availability and the defect-tolerant 130nm FPGA of PAPERS.md).
+///
+/// All rates are integral per-mille (0..1000) rather than doubles so that
+/// the one-line serialization below round-trips exactly and committed
+/// sweep records stay byte-identical across platforms. Sampling is
+/// per-element splitmix64 hashing (core/rng.hpp) keyed by (seed, salt,
+/// element id): whether a given wire or switch is dead depends only on the
+/// spec and the element's id, never on iteration order.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  int wire_permille = 0;    // stuck-open wire segments (per-mille of wire nodes)
+  int switch_permille = 0;  // dead switchbox connections (per-mille of SB edges)
+  int pin_permille = 0;     // dead connection-block pins (per-mille of CB edges)
+  int clusters = 0;         // clustered tile/channel outages (fab defects)
+  int cluster_radius = 1;   // Chebyshev radius of each cluster, in tiles
+
+  /// True when this spec can inject at least one fault category.
+  bool any() const {
+    return wire_permille > 0 || switch_permille > 0 || pin_permille > 0 || clusters > 0;
+  }
+
+  /// True when every field is in its legal range (rates in [0, 1000],
+  /// non-negative cluster geometry).
+  bool valid() const;
+
+  /// One-line `key=value` serialization, the replay format:
+  ///   faults seed=7 wires=25 switches=10 pins=5 clusters=1 radius=2
+  std::string describe() const;
+  static std::optional<FaultSpec> parse(const std::string& line);
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// The concrete defect set a FaultSpec induces on one Device: the dead wire
+/// nodes and dead edges, materialized once and then re-applied by every
+/// Device::reset() so faults survive router passes.
+///
+/// Deterministic by construction: draw() depends only on (spec, device
+/// topology), so the same seed yields the same fault set on every platform,
+/// which is what makes fault repros replayable and the fault sweep's
+/// committed JSON stable.
+class FaultModel {
+ public:
+  FaultModel() = default;
+
+  /// Samples the defect set `spec` induces on `device` (which must be in
+  /// any state — only its topology is read).
+  static FaultModel draw(const Device& device, const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Stuck-open wire segments (sorted, unique wire-node ids).
+  std::span<const NodeId> dead_wires() const { return dead_wires_; }
+
+  /// Dead switchbox connections + dead connection-block pins (sorted,
+  /// unique edge ids).
+  std::span<const EdgeId> dead_edges() const { return dead_edges_; }
+
+  bool wire_faulted(NodeId v) const;
+  bool edge_faulted(EdgeId e) const;
+
+  int fault_count() const {
+    return static_cast<int>(dead_wires_.size() + dead_edges_.size());
+  }
+  bool empty() const { return dead_wires_.empty() && dead_edges_.empty(); }
+
+ private:
+  FaultSpec spec_;
+  std::vector<NodeId> dead_wires_;  // sorted, unique
+  std::vector<EdgeId> dead_edges_;  // sorted, unique
+};
+
+}  // namespace fpr

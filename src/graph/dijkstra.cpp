@@ -69,16 +69,27 @@ void export_tree(const DijkstraArena& arena, NodeId node_count, bool stopped_ear
 /// report stopped-early if a superseded heap entry above the limit survived
 /// to the top (see dijkstra_reference.hpp).
 void dijkstra_impl(const Graph& g, NodeId source, std::span<const NodeId> targets,
-                   double radius_factor, Weight slack, ShortestPathTree& out) {
+                   double radius_factor, Weight slack, ShortestPathTree& out,
+                   WorkBudget* budget) {
   const NodeId node_count = g.node_count();
   out.source = source;
   out.inactive_targets = 0;
+  out.budget_aborted = false;
   DijkstraArena& arena = DijkstraArena::thread_local_instance();
   arena.begin_run(node_count);
   if (!g.node_active(source)) {
     // Everything untouched: exports as all-infinite, like the old engine
     // (which also skipped the target scan, leaving inactive_targets at 0).
     export_tree(arena, node_count, false, 0, kInvalidNode, out);
+    return;
+  }
+  if (budget != nullptr && budget->exhausted()) {
+    // A request whose budget is already spent performs no expansions at
+    // all: every label stays infinite and nothing is settled (stop point
+    // (0, kInvalidNode) marks no label as final — no distance of 0 exists
+    // because even the source was never relaxed).
+    out.budget_aborted = true;
+    export_tree(arena, node_count, true, 0, kInvalidNode, out);
     return;
   }
 
@@ -120,6 +131,17 @@ void dijkstra_impl(const Graph& g, NodeId source, std::span<const NodeId> target
       stop_node = u;
       break;
     }
+    if (budget != nullptr && !budget->charge()) {
+      // Budget spent: u is NOT settled (its label may still be tentative).
+      // (d, u) is the heap minimum, so the derived settled set is exactly
+      // the nodes expanded before the abort — deterministic for a given
+      // budget regardless of platform or thread count.
+      stopped_early = true;
+      out.budget_aborted = true;
+      stop_d = d;
+      stop_node = u;
+      break;
+    }
     arena.heap_pop_min();
     if (pending_count > 0 && arena.pending(u)) {
       arena.clear_pending(u);
@@ -146,24 +168,25 @@ void dijkstra_impl(const Graph& g, NodeId source, std::span<const NodeId> target
 
 ShortestPathTree dijkstra(const Graph& g, NodeId source) {
   ShortestPathTree t;
-  dijkstra_impl(g, source, {}, 0, 0, t);
+  dijkstra_impl(g, source, {}, 0, 0, t, nullptr);
   return t;
 }
 
-void dijkstra(const Graph& g, NodeId source, ShortestPathTree& out) {
-  dijkstra_impl(g, source, {}, 0, 0, out);
+void dijkstra(const Graph& g, NodeId source, ShortestPathTree& out, WorkBudget* budget) {
+  dijkstra_impl(g, source, {}, 0, 0, out, budget);
 }
 
 ShortestPathTree dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
                                  double radius_factor, Weight slack) {
   ShortestPathTree t;
-  dijkstra_impl(g, source, targets, radius_factor, slack, t);
+  dijkstra_impl(g, source, targets, radius_factor, slack, t, nullptr);
   return t;
 }
 
 void dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
-                     ShortestPathTree& out, double radius_factor, Weight slack) {
-  dijkstra_impl(g, source, targets, radius_factor, slack, out);
+                     ShortestPathTree& out, double radius_factor, Weight slack,
+                     WorkBudget* budget) {
+  dijkstra_impl(g, source, targets, radius_factor, slack, out, budget);
 }
 
 }  // namespace fpr

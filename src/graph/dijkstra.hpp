@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/budget.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
 
@@ -28,6 +29,14 @@ struct ShortestPathTree {
   /// can never be settled, so they must not hold the radius limit open.
   /// Nonzero values make that (previously silent) degradation observable.
   int inactive_targets = 0;
+
+  /// True when the run stopped because a WorkBudget ran out of node
+  /// expansions (see graph/budget.hpp). The tree is partial: `settled`
+  /// flags the nodes whose labels are final, exactly as for a
+  /// radius-bounded early stop, and queries outside it must consult
+  /// knows(). Budget-aborted runs are deterministic — the same budget
+  /// always settles the same node set.
+  bool budget_aborted = false;
 
   bool reached(NodeId v) const { return dist[static_cast<std::size_t>(v)] < kInfiniteWeight; }
 
@@ -64,7 +73,12 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source);
 /// Allocation-free variant: runs into `out`, reusing its vectors' capacity.
 /// Repeated calls with the same tree object allocate nothing at steady
 /// state (the router's two-pin baseline and the microbench use this).
-void dijkstra(const Graph& g, NodeId source, ShortestPathTree& out);
+///
+/// `budget` (optional) charges one unit per node expansion and stops the
+/// run — marking the tree budget_aborted, with `settled` flagging the
+/// final labels — once the budget is spent. A null budget reproduces the
+/// historical engine bit-for-bit.
+void dijkstra(const Graph& g, NodeId source, ShortestPathTree& out, WorkBudget* budget = nullptr);
 
 /// Radius-bounded Dijkstra: settles at least every reachable node in
 /// `targets`, then keeps expanding until the frontier key exceeds
@@ -83,7 +97,10 @@ ShortestPathTree dijkstra_within(const Graph& g, NodeId source, std::span<const 
                                  double radius_factor = 1.3, Weight slack = 4.0);
 
 /// Reuse variant of dijkstra_within (see the dijkstra() overload above).
+/// `budget` as in the dijkstra() reuse overload: node-expansion-bounded,
+/// deterministic early abort.
 void dijkstra_within(const Graph& g, NodeId source, std::span<const NodeId> targets,
-                     ShortestPathTree& out, double radius_factor = 1.3, Weight slack = 4.0);
+                     ShortestPathTree& out, double radius_factor = 1.3, Weight slack = 4.0,
+                     WorkBudget* budget = nullptr);
 
 }  // namespace fpr

@@ -1,5 +1,7 @@
 #include "graph/graph.hpp"
 
+#include "core/contract.hpp"
+
 namespace fpr {
 
 Graph::Graph(NodeId node_count) { add_nodes(node_count); }
@@ -51,7 +53,7 @@ Graph& Graph::operator=(Graph&& other) noexcept {
 }
 
 NodeId Graph::add_nodes(NodeId count) {
-  assert(count >= 0);
+  FPR_CHECK(count >= 0, "add_nodes count=" << count << " must be non-negative");
   const NodeId first = node_count();
   incident_.resize(incident_.size() + static_cast<std::size_t>(count));
   node_active_.resize(node_active_.size() + static_cast<std::size_t>(count), 1);
@@ -61,10 +63,14 @@ NodeId Graph::add_nodes(NodeId count) {
 }
 
 EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
-  assert(u >= 0 && u < node_count());
-  assert(v >= 0 && v < node_count());
-  assert(u != v && "self-loops are never useful in a routing graph");
-  assert(w >= 0 && "routing costs are non-negative");
+  FPR_CHECK(u >= 0 && u < node_count(),
+            "add_edge endpoint u=" << u << " outside node range [0, " << node_count() << ")");
+  FPR_CHECK(v >= 0 && v < node_count(),
+            "add_edge endpoint v=" << v << " outside node range [0, " << node_count() << ")");
+  FPR_CHECK(u != v, "add_edge self-loop at node " << u
+                        << " — self-loops are never useful in a routing graph");
+  FPR_CHECK(w >= 0, "add_edge {" << u << ", " << v << "} weight " << w
+                        << " — routing costs are non-negative");
   const EdgeId id = edge_count();
   edges_.push_back(Edge{u, v, w, true});
   incident_[static_cast<std::size_t>(u)].push_back(id);
@@ -106,7 +112,10 @@ void Graph::sync_edge_usability(EdgeId e, bool usable_now) {
 }
 
 void Graph::set_edge_weight(EdgeId e, Weight w) {
-  assert(w >= 0);
+  FPR_CHECK(e >= 0 && e < edge_count(),
+            "set_edge_weight edge " << e << " outside edge range [0, " << edge_count() << ")");
+  FPR_CHECK(w >= 0, "set_edge_weight edge " << e << " to " << w
+                        << " — routing costs are non-negative");
   auto& ed = edges_[static_cast<std::size_t>(e)];
   if (traversal_weight_[static_cast<std::size_t>(e)] != kInfiniteWeight) {
     usable_weight_sum_ += w - ed.weight;
@@ -118,8 +127,12 @@ void Graph::set_edge_weight(EdgeId e, Weight w) {
 }
 
 void Graph::add_edge_weight(EdgeId e, Weight delta) {
+  FPR_CHECK(e >= 0 && e < edge_count(),
+            "add_edge_weight edge " << e << " outside edge range [0, " << edge_count() << ")");
   auto& ed = edges_[static_cast<std::size_t>(e)];
-  assert(ed.weight + delta >= 0);
+  FPR_CHECK(ed.weight + delta >= 0, "add_edge_weight edge " << e << " (weight " << ed.weight
+                                        << ") by " << delta
+                                        << " would make the routing cost negative");
   ed.weight += delta;
   if (traversal_weight_[static_cast<std::size_t>(e)] != kInfiniteWeight) {
     usable_weight_sum_ += delta;

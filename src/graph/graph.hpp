@@ -1,12 +1,12 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstdint>
 #include <mutex>
 #include <span>
 #include <vector>
 
+#include "core/contract.hpp"
 #include "graph/types.hpp"
 
 namespace fpr {
@@ -92,7 +92,9 @@ class Graph {
   /// The endpoint of `e` that is not `from`.
   NodeId other_end(EdgeId e, NodeId from) const {
     const Edge& ed = edge(e);
-    assert(ed.u == from || ed.v == from);
+    FPR_CHECK(ed.u == from || ed.v == from,
+              "other_end: node " << from << " is not an endpoint of edge " << e << " {" << ed.u
+                                 << ", " << ed.v << "}");
     return ed.u == from ? ed.v : ed.u;
   }
 

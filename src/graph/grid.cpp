@@ -1,12 +1,13 @@
 #include "graph/grid.hpp"
 
-#include <cassert>
+#include "core/contract.hpp"
 
 namespace fpr {
 
 GridGraph::GridGraph(int width, int height, Weight edge_weight)
     : width_(width), height_(height), graph_(static_cast<NodeId>(width) * height) {
-  assert(width >= 1 && height >= 1);
+  FPR_CHECK(width >= 1 && height >= 1,
+            "GridGraph dimensions " << width << "x" << height << " must be at least 1x1");
   // Edge ids are deterministic: all horizontal edges first (row-major),
   // then all vertical edges (row-major); the accessors below rely on this.
   for (int y = 0; y < height_; ++y) {
@@ -22,12 +23,16 @@ GridGraph::GridGraph(int width, int height, Weight edge_weight)
 }
 
 EdgeId GridGraph::horizontal_edge(int x, int y) const {
-  assert(x >= 0 && x + 1 < width_ && y >= 0 && y < height_);
+  FPR_CHECK(x >= 0 && x + 1 < width_ && y >= 0 && y < height_,
+            "horizontal_edge (" << x << ", " << y << ") outside " << width_ << "x" << height_
+                                 << " grid");
   return static_cast<EdgeId>(y * (width_ - 1) + x);
 }
 
 EdgeId GridGraph::vertical_edge(int x, int y) const {
-  assert(x >= 0 && x < width_ && y >= 0 && y + 1 < height_);
+  FPR_CHECK(x >= 0 && x < width_ && y >= 0 && y + 1 < height_,
+            "vertical_edge (" << x << ", " << y << ") outside " << width_ << "x" << height_
+                               << " grid");
   const EdgeId horizontal_count = static_cast<EdgeId>((width_ - 1) * height_);
   return horizontal_count + static_cast<EdgeId>(y * width_ + x);
 }

@@ -1,6 +1,6 @@
 #include "graph/path_oracle.hpp"
 
-#include <cassert>
+#include "core/contract.hpp"
 
 namespace fpr {
 
@@ -17,9 +17,9 @@ const ShortestPathTree& PathOracle::from(NodeId source) {
   if (it == cache_.end()) {
     auto tree = std::make_unique<ShortestPathTree>();
     if (scope_.empty()) {
-      dijkstra(*g_, source, *tree);
+      dijkstra(*g_, source, *tree, budget_);
     } else {
-      dijkstra_within(*g_, source, scope_, *tree);
+      dijkstra_within(*g_, source, scope_, *tree, 1.3, 4.0, budget_);
     }
     it = cache_.emplace(source, std::move(tree)).first;
     ++runs_;
@@ -33,12 +33,17 @@ const ShortestPathTree& PathOracle::from(NodeId source) {
 const ShortestPathTree& PathOracle::from_knowing(NodeId source, NodeId probe) {
   const ShortestPathTree& tree = from(source);
   if (tree.knows(probe)) return tree;
+  // An exhausted budget cannot buy a better tree: the upgrade run would
+  // abort before its first expansion, throwing away the partial labels we
+  // already paid for. Return the partial tree; the caller sees a tentative
+  // or infinite distance and degrades into an "unreachable" answer.
+  if (budget_exhausted()) return tree;
   // The bounded tree stopped short of the probe: upgrade to a complete run.
   // Run INTO the cached object (not a pointer swap) so references handed
   // out by from() earlier stay valid — algorithms hold the source tree
   // across queries that may trigger upgrades.
   auto it = cache_.find(source);
-  dijkstra(*g_, source, *it->second);
+  dijkstra(*g_, source, *it->second, budget_);
   ++runs_;
   ++misses_;
   return *it->second;
@@ -64,7 +69,8 @@ Weight PathOracle::distance(NodeId u, NodeId v) {
 }
 
 std::vector<EdgeId> PathOracle::path_between(NodeId a, NodeId b) {
-  assert(a != kInvalidNode && b != kInvalidNode);
+  FPR_CHECK(a != kInvalidNode && b != kInvalidNode,
+            "path_between(" << a << ", " << b << ") requires valid node ids");
   if (a == b) return {};
   if (const ShortestPathTree* spt = cached(a); spt != nullptr && spt->knows(b)) {
     ++hits_;

@@ -45,6 +45,20 @@ class PathOracle {
   void set_scope(std::vector<NodeId> targets) { scope_ = std::move(targets); }
   void clear_scope() { scope_.clear(); }
 
+  /// Attaches a shared node-expansion budget (graph/budget.hpp): every
+  /// Dijkstra run this oracle performs charges it. Once the budget is
+  /// exhausted, fresh runs abort immediately and cached partial trees stop
+  /// being upgraded, so queries may return tentative/infinite distances —
+  /// the algorithms above degrade into "unreachable" answers and the
+  /// router marks the in-flight net kAbortedBudget. Deterministic: a given
+  /// budget always yields the same (partial) trees. The caller owns the
+  /// budget; nullptr (the default) disables budgeting.
+  void set_budget(WorkBudget* budget) { budget_ = budget; }
+  WorkBudget* budget() const { return budget_; }
+
+  /// True when the attached budget has run out (never true without one).
+  bool budget_exhausted() const { return budget_ != nullptr && budget_->exhausted(); }
+
   /// The SSSP tree rooted at `source` (computed on first use; radius-bounded
   /// when a scope is set).
   const ShortestPathTree& from(NodeId source);
@@ -97,6 +111,7 @@ class PathOracle {
   std::uint64_t revision_;
   std::unordered_map<NodeId, std::unique_ptr<ShortestPathTree>> cache_;
   std::vector<NodeId> scope_;
+  WorkBudget* budget_ = nullptr;
   std::size_t runs_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

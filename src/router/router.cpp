@@ -1,9 +1,20 @@
 #include "router/router.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 namespace fpr {
+
+std::string_view net_status_name(NetStatus status) {
+  switch (status) {
+    case NetStatus::kRouted: return "routed";
+    case NetStatus::kFailedCongestion: return "congestion";
+    case NetStatus::kBlockedByFault: return "fault";
+    case NetStatus::kAbortedBudget: return "budget";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -61,6 +72,45 @@ void rollback_commits(Device& device, const CommitLog& log, double congestion_pe
   }
 }
 
+/// Scoped congestion relief for fault retries: remaps every edge weight
+/// w -> 1 + (w - 1) * scale on construction and undoes the remap exactly on
+/// destruction. Penalties charged while the guard is live (the decomposed
+/// baseline commits per sink mid-attempt) are preserved: the destructor
+/// restores original + (current - relaxed), i.e. only the relief delta is
+/// removed. All arithmetic is over dyadic rationals (weights, the 0.25
+/// penalty, backoff powers of 0.5), so the restore is bit-exact.
+class CongestionRelief {
+ public:
+  CongestionRelief(Graph& g, double scale) : g_(g) {
+    const EdgeId count = g.edge_count();
+    original_.reserve(static_cast<std::size_t>(count));
+    relaxed_.reserve(static_cast<std::size_t>(count));
+    for (EdgeId e = 0; e < count; ++e) {
+      const Weight w = g.edge_weight(e);
+      const Weight relaxed = 1.0 + (w - 1.0) * scale;
+      original_.push_back(w);
+      relaxed_.push_back(relaxed);
+      if (relaxed != w) g_.set_edge_weight(e, relaxed);
+    }
+  }
+
+  CongestionRelief(const CongestionRelief&) = delete;
+  CongestionRelief& operator=(const CongestionRelief&) = delete;
+
+  ~CongestionRelief() {
+    for (EdgeId e = 0; e < static_cast<EdgeId>(original_.size()); ++e) {
+      const auto idx = static_cast<std::size_t>(e);
+      const Weight target = original_[idx] + (g_.edge_weight(e) - relaxed_[idx]);
+      if (g_.edge_weight(e) != target) g_.set_edge_weight(e, target);
+    }
+  }
+
+ private:
+  Graph& g_;
+  std::vector<Weight> original_;
+  std::vector<Weight> relaxed_;
+};
+
 /// Routes one net as a whole tree with the configured algorithm
 /// (the critical-net algorithm when the net is flagged critical).
 RoutingTree route_whole_net(const Graph& g, const Net& net, bool critical,
@@ -75,6 +125,7 @@ RoutingTree route_whole_net(const Graph& g, const Net& net, bool critical,
 /// too, which is exactly the waste the paper's Steiner routing removes).
 struct TwoPinOutcome {
   bool routed = false;
+  bool budget_aborted = false;
   std::vector<EdgeId> edges;
   Weight wirelength = 0;
   Weight max_pathlength = 0;
@@ -83,7 +134,7 @@ struct TwoPinOutcome {
 };
 
 TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
-                                       double congestion_penalty) {
+                                       double congestion_penalty, WorkBudget* budget) {
   Graph& g = device.graph();
   TwoPinOutcome out;
   std::vector<EdgeId> all_edges;
@@ -93,14 +144,16 @@ TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
   // reruns allocation-free (the tree's vectors are recycled).
   ShortestPathTree spt;
   for (const NodeId sink : net.sinks) {
-    dijkstra(g, net.source, spt);
+    dijkstra(g, net.source, spt, budget);
     if (!spt.reached(sink)) {
       // A later sink failed after earlier sinks already consumed wires and
       // charged congestion: the whole net fails, so give those resources
       // back — otherwise the dead net starves every net after it for the
       // rest of the pass.
       rollback_commits(device, log, congestion_penalty);
-      return TwoPinOutcome{};  // routed == false, zero wires held
+      TwoPinOutcome failed;
+      failed.budget_aborted = spt.budget_aborted;
+      return failed;  // routed == false, zero wires held
     }
     const auto path = spt.path_edges_to(sink);
     out.max_pathlength = std::max(out.max_pathlength, spt.distance(sink));
@@ -115,6 +168,80 @@ TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
   return out;
 }
 
+/// Reclassifies the failed-by-congestion nets of `result` against an empty
+/// device with the same faults installed: a terminal unreachable there is
+/// unreachable at ANY congestion level, so the net is defect-blocked, not
+/// capacity-starved. Runs unbudgeted — it is post-hoc diagnosis, not
+/// routing work — and only when faults are present (on a pristine device
+/// every block is reachable by construction, making the probe a no-op).
+void classify_fault_blocked(const Device& device, const Circuit& circuit,
+                            RoutingResult& result) {
+  std::unique_ptr<Device> probe;
+  PathOracle* oracle = nullptr;
+  std::unique_ptr<PathOracle> oracle_storage;
+  for (std::size_t idx = 0; idx < result.nets.size(); ++idx) {
+    NetRouteResult& record = result.nets[idx];
+    if (record.status != NetStatus::kFailedCongestion) continue;
+    if (probe == nullptr) {
+      probe = std::make_unique<Device>(device.spec());
+      probe->install_faults(device.faults()->spec());
+      oracle_storage = std::make_unique<PathOracle>(probe->graph());
+      oracle = oracle_storage.get();
+    }
+    const Net net = to_graph_net(*probe, circuit.nets[idx]);
+    const ShortestPathTree& spt = oracle->from(net.source);
+    for (const NodeId sink : net.sinks) {
+      if (!spt.reached(sink)) {
+        record.status = NetStatus::kBlockedByFault;
+        record.blocked_sink = sink;
+        break;
+      }
+    }
+  }
+}
+
+/// Physical wirelength of `net` routed alone on a pristine fault-free
+/// device — the fault-free baseline the detour-overhead statistic compares
+/// against. Returns -1 when even the solo route fails (pathological widths).
+int solo_fault_free_wirelength(Device& pristine, const CircuitNet& circuit_net,
+                               bool critical, const RouterOptions& options) {
+  pristine.reset();
+  const Net net = to_graph_net(pristine, circuit_net);
+  if (net.sinks.empty()) return 0;
+  Graph& g = pristine.graph();
+  PathOracle oracle(g);
+  const std::vector<NodeId> terminals = net.terminals();
+  const Algorithm algo = critical ? options.critical_algorithm : options.algorithm;
+  if (algorithm_supports_scoped_paths(algo)) oracle.set_scope(terminals);
+  const RoutingTree tree = route(g, net, algo, oracle, options.route_options);
+  if (!tree.spans(terminals)) return -1;
+  return static_cast<int>(tree.edges().size());
+}
+
+/// Degradation bookkeeping over the final per-net statuses: status counts,
+/// and the extra wirelength fault-displaced nets pay versus their solo
+/// fault-free routes.
+void accumulate_degradation_stats(const Device& device, const Circuit& circuit,
+                                  const RouterOptions& options, RoutingResult& result) {
+  std::unique_ptr<Device> pristine;  // built lazily: most runs have no detours
+  for (std::size_t idx = 0; idx < result.nets.size(); ++idx) {
+    const NetRouteResult& record = result.nets[idx];
+    switch (record.status) {
+      case NetStatus::kBlockedByFault: ++result.nets_blocked_by_fault; break;
+      case NetStatus::kAbortedBudget: ++result.nets_aborted_budget; break;
+      default: break;
+    }
+    if (!record.routed() || record.retries == 0) continue;
+    ++result.nets_rerouted_around_faults;
+    if (pristine == nullptr) pristine = std::make_unique<Device>(device.spec());
+    const int solo = solo_fault_free_wirelength(*pristine, circuit.nets[idx],
+                                                circuit.nets[idx].critical, options);
+    if (solo >= 0 && record.physical_wirelength > solo) {
+      result.detour_wirelength_overhead += record.physical_wirelength - solo;
+    }
+  }
+}
+
 }  // namespace
 
 RoutingResult route_circuit(Device& device, const Circuit& circuit,
@@ -126,20 +253,42 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
   RoutingResult result;
   result.nets.assign(net_count, NetRouteResult{});
 
+  // Deterministic work budget, shared by every search the call performs
+  // (tree constructions, retries, the decomposed baseline). Node
+  // expansions, never wall-clock: the same inputs exhaust it at the same
+  // expansion on every platform.
+  WorkBudget budget{options.node_budget};
+  const bool faulty = device.has_faults();
+  const int fault_retries = faulty ? std::max(0, options.fault_retries) : 0;
+
   int best_failed = static_cast<int>(net_count) + 1;
   int stalled = 0;
   for (int pass = 1; pass <= options.max_passes; ++pass) {
     device.reset();
+    const long long work_so_far = budget.used;
     result = RoutingResult{};
     result.nets.assign(net_count, NetRouteResult{});
     result.passes = pass;
+    result.work_used = work_so_far;
     std::vector<std::size_t> failed;
 
-    for (const std::size_t idx : order) {
-      const Net net = to_graph_net(device, circuit.nets[idx]);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::size_t idx = order[pos];
       NetRouteResult& record = result.nets[idx];
+      if (budget.exhausted()) {
+        // Out of budget: everything not yet attempted this pass aborts.
+        // Nothing is half-committed (whole-net commits happen only after a
+        // spanning tree is found; the decomposed baseline rolls back), so
+        // the committed prefix is a consistent partial solution.
+        for (std::size_t rest = pos; rest < order.size(); ++rest) {
+          result.nets[order[rest]].status = NetStatus::kAbortedBudget;
+          failed.push_back(order[rest]);
+        }
+        break;
+      }
+      const Net net = to_graph_net(device, circuit.nets[idx]);
       if (net.sinks.empty()) {  // all pins on one block: trivially routed
-        record.routed = true;
+        record.status = NetStatus::kRouted;
         continue;
       }
       Graph& g = device.graph();
@@ -148,6 +297,7 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
         // Optimal pathlength bound measured before any of the net's own
         // connections consume resources.
         PathOracle oracle(g);
+        oracle.set_budget(&budget);
         const auto& spt = oracle.from(net.source);
         Weight opt = 0;
         bool reachable = true;
@@ -156,15 +306,26 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
           opt = std::max(opt, spt.distance(s));
         }
         if (!reachable) {
+          record.status =
+              budget.exhausted() ? NetStatus::kAbortedBudget : NetStatus::kFailedCongestion;
           failed.push_back(idx);
           continue;
         }
-        auto out = route_two_pin_decomposed(device, net, options.congestion_penalty);
+        auto out = route_two_pin_decomposed(device, net, options.congestion_penalty, &budget);
+        double relief_scale = 1.0;
+        while (!out.routed && !out.budget_aborted && record.retries < fault_retries) {
+          ++record.retries;
+          relief_scale *= options.fault_relief_backoff;
+          CongestionRelief relief(g, relief_scale);
+          out = route_two_pin_decomposed(device, net, options.congestion_penalty, &budget);
+        }
         if (!out.routed) {
+          record.status =
+              out.budget_aborted ? NetStatus::kAbortedBudget : NetStatus::kFailedCongestion;
           failed.push_back(idx);
           continue;
         }
-        record.routed = true;
+        record.status = NetStatus::kRouted;
         record.edges = std::move(out.edges);
         record.wirelength = out.wirelength;
         record.max_pathlength = out.max_pathlength;
@@ -176,6 +337,7 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
       }
 
       PathOracle oracle(g);
+      oracle.set_budget(&budget);
       const std::vector<NodeId> terminals = net.terminals();
       const bool critical = circuit.nets[idx].critical;
       const Algorithm algo = critical ? options.critical_algorithm : options.algorithm;
@@ -184,13 +346,36 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
       if (algorithm_supports_scoped_paths(algo)) {
         oracle.set_scope(terminals);
       }
-      const RoutingTree tree = route_whole_net(g, net, critical, options, oracle);
+      RoutingTree tree = route_whole_net(g, net, critical, options, oracle);
+
+      // Fault-retry ladder: a defect can sever exactly the corridor the
+      // congestion weights and candidate cap funnel this net into, so each
+      // retry widens the search — unscoped oracle, unlimited candidates,
+      // then the DJKA arborescence (pure shortest paths reach anything
+      // reachable) — under geometrically relaxed congestion.
+      double relief_scale = 1.0;
+      while (!tree.spans(terminals) && !budget.exhausted() &&
+             record.retries < fault_retries) {
+        ++record.retries;
+        relief_scale *= options.fault_relief_backoff;
+        CongestionRelief relief(g, relief_scale);
+        PathOracle retry_oracle(g);
+        retry_oracle.set_budget(&budget);
+        const Algorithm retry_algo = record.retries == 1 ? algo : Algorithm::kDjka;
+        const RouteOptions wide{CandidateStrategy::kAllNodes, 0, 0};
+        tree = route(g, net, retry_algo, retry_oracle, wide);
+      }
+
       if (!tree.spans(terminals)) {
+        record.status =
+            budget.exhausted() ? NetStatus::kAbortedBudget : NetStatus::kFailedCongestion;
         failed.push_back(idx);
         continue;
       }
+      // Measure on the true (unrelieved) weights; `oracle` self-refreshes
+      // across the retry mutations via the graph revision counter.
       const TreeMetrics metrics = measure(g, net, tree, oracle);
-      record.routed = true;
+      record.status = NetStatus::kRouted;
       record.edges = tree.edges();
       record.wirelength = metrics.wirelength;
       record.max_pathlength = metrics.max_pathlength;
@@ -200,11 +385,16 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
       record.wire_nodes_used = commit_net(device, tree.edges(), options.congestion_penalty);
     }
 
+    result.work_used = budget.used;
     if (failed.empty()) {
       result.success = true;
       break;
     }
     result.failed_nets = static_cast<int>(failed.size());
+    if (budget.exhausted()) {
+      result.budget_exhausted = true;
+      break;  // partial solution: committed prefix + per-net abort statuses
+    }
     if (result.failed_nets < best_failed) {
       best_failed = result.failed_nets;
       stalled = 0;
@@ -224,9 +414,14 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
     order = std::move(reordered);
   }
 
+  // Post-hoc failure diagnosis + degradation statistics over the final
+  // pass's statuses.
+  if (faulty && !result.success) classify_fault_blocked(device, circuit, result);
+  accumulate_degradation_stats(device, circuit, options, result);
+
   // Aggregate totals over routed nets.
   for (const auto& record : result.nets) {
-    if (!record.routed) continue;
+    if (!record.routed()) continue;
     result.total_wirelength += record.wirelength;
     result.total_wire_nodes += record.wire_nodes_used;
     result.total_max_pathlength += record.max_pathlength;

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "core/metrics.hpp"
 #include "core/route.hpp"
 #include "fpga/device.hpp"
+#include "graph/budget.hpp"
 #include "netlist/netlist.hpp"
 
 namespace fpr {
@@ -49,12 +51,63 @@ struct RouterOptions {
   /// shortest path with no sharing (the strategy the paper credits its
   /// channel-width win against; see Fig. 15).
   bool decompose_two_pin = false;
+
+  /// Rip-up-and-reroute attempts for a net that fails on a device with
+  /// installed faults (Device::has_faults()). Each retry widens the search —
+  /// full candidate set, unscoped oracle, arborescence fallback — under
+  /// progressively relaxed congestion weighting (see fault_relief_backoff),
+  /// because a defect often forces a detour straight through the corridor
+  /// the congestion penalties were steering nets away from. 0 disables; on
+  /// a fault-free device retries never happen (a failed deterministic
+  /// search would just fail identically again).
+  int fault_retries = 2;
+
+  /// Geometric congestion-relief factor for fault retries: on retry r every
+  /// edge weight w is temporarily remapped to 1 + (w - 1) * backoff^r, so
+  /// accumulated congestion matters less and less while base wirelength
+  /// still breaks ties. Exact originals are restored after each attempt.
+  double fault_relief_backoff = 0.5;
+
+  /// Deterministic work budget for the whole route_circuit call, measured
+  /// in Dijkstra node expansions (heap pops) — never wall-clock, so a
+  /// budget-aborted run is bit-identical on every machine and thread count.
+  /// 0 = unlimited. When the budget runs out mid-circuit the router stops
+  /// where it is: nets already routed stay routed (and committed), the
+  /// in-flight and unattempted nets are marked NetStatus::kAbortedBudget,
+  /// and the partial RoutingResult reports budget_exhausted.
+  long long node_budget = 0;
 };
+
+/// Per-net routing outcome classification — the graceful-degradation
+/// contract. A plain bool cannot distinguish "needs one more wire" from
+/// "physically impossible on this defective device" from "ran out of
+/// budget", and those demand different reactions (widen the channel vs
+/// accept the yield loss vs re-run with a bigger budget).
+enum class NetStatus {
+  kRouted,             // committed to the device
+  kFailedCongestion,   // unroutable in the final pass, but reachable in a
+                       // pristine device of this width: congestion/capacity
+  kBlockedByFault,     // some terminal is unreachable even on an empty
+                       // device with these faults: defect-blocked
+  kAbortedBudget,      // the work budget expired before/while routing it
+};
+
+/// Printable name ("routed", "congestion", "fault", "budget").
+std::string_view net_status_name(NetStatus status);
 
 /// Per-net outcome. Pathlength metrics are measured at route time (on the
 /// congested graph the net actually saw).
 struct NetRouteResult {
-  bool routed = false;
+  NetStatus status = NetStatus::kFailedCongestion;
+  bool routed() const { return status == NetStatus::kRouted; }
+
+  /// Fault-displacement context: how many rip-up retries the final pass
+  /// spent on this net (> 0 on a routed net means it was rerouted around a
+  /// defect), and — for kBlockedByFault — the first terminal the fault
+  /// probe found unreachable.
+  int retries = 0;
+  NodeId blocked_sink = kInvalidNode;
+
   std::vector<EdgeId> edges;
   /// Metrics in the live routing metric (wirelength + congestion weighting)
   /// — what the router optimizes.
@@ -83,6 +136,35 @@ struct RoutingResult {
   Weight total_optimal_max_pathlength = 0;
   long total_physical_wirelength = 0;
   long total_physical_max_path = 0;
+
+  // --- Graceful-degradation statistics (fault injection & work budgets) ---
+
+  /// Routed nets that needed at least one fault retry: they exist in the
+  /// final solution but took a detour around a defect.
+  int nets_rerouted_around_faults = 0;
+  int nets_blocked_by_fault = 0;  // final status kBlockedByFault
+  int nets_aborted_budget = 0;    // final status kAbortedBudget
+  /// Extra physical wirelength the fault-displaced nets pay versus routing
+  /// each of them alone on a pristine fault-free device of the same width
+  /// (per-net shortfalls clamp at zero — a lucky shorter route is not
+  /// negative overhead).
+  long detour_wirelength_overhead = 0;
+  /// Node expansions actually spent (== RouterOptions::node_budget consumed
+  /// when budget_exhausted, the true cost otherwise).
+  long long work_used = 0;
+  /// True when RouterOptions::node_budget expired before the router
+  /// finished: `nets` is a partial-but-consistent solution (every kRouted
+  /// net is committed and electrically disjoint; nothing is half-routed).
+  bool budget_exhausted = false;
+
+  /// Fraction of nets routed — the yield measure of a degraded run (1.0 for
+  /// an empty circuit).
+  double routed_fraction() const {
+    if (nets.empty()) return 1.0;
+    int routed = 0;
+    for (const auto& n : nets) routed += n.routed() ? 1 : 0;
+    return static_cast<double>(routed) / static_cast<double>(nets.size());
+  }
 };
 
 /// Routes every net of the circuit on the device, one net at a time:

@@ -10,7 +10,21 @@
 
 namespace fpr {
 
+std::string_view width_search_status_name(WidthSearchStatus status) {
+  switch (status) {
+    case WidthSearchStatus::kEmptyRange: return "empty-range";
+    case WidthSearchStatus::kFound: return "found";
+    case WidthSearchStatus::kUnroutable: return "unroutable";
+    case WidthSearchStatus::kBudgetExhausted: return "budget";
+  }
+  return "?";
+}
+
 namespace {
+
+WidthProbe probe_of(int width, const RoutingResult& r) {
+  return WidthProbe{width, r.success, r.budget_exhausted};
+}
 
 /// Replays the serial binary-search decision sequence over memoized
 /// per-width outcomes, recording attempts in the serial order. Returns
@@ -20,17 +34,24 @@ bool replay_serial_search(const std::map<int, RoutingResult>& memo, int lo0, int
                           WidthSearchResult& result) {
   result.attempts.clear();
   result.min_width = -1;
+  result.status = WidthSearchStatus::kEmptyRange;
   auto it = memo.find(hi);
   if (it == memo.end()) return false;
-  result.attempts.emplace_back(hi, it->second.success);
-  if (!it->second.success) return true;  // unroutable even at the widest device
+  result.attempts.push_back(probe_of(hi, it->second));
+  if (!it->second.success) {
+    // Unroutable even at the widest device — or undecided, when the widest
+    // probe burned its whole budget without an answer.
+    result.status = it->second.budget_exhausted ? WidthSearchStatus::kBudgetExhausted
+                                                : WidthSearchStatus::kUnroutable;
+    return true;
+  }
   int cur = hi;
   int lo = lo0;
   while (lo < cur) {
     const int mid = lo + (cur - lo) / 2;
     it = memo.find(mid);
     if (it == memo.end()) return false;
-    result.attempts.emplace_back(mid, it->second.success);
+    result.attempts.push_back(probe_of(mid, it->second));
     if (it->second.success) {
       cur = mid;
     } else {
@@ -38,6 +59,7 @@ bool replay_serial_search(const std::map<int, RoutingResult>& memo, int lo0, int
     }
   }
   result.min_width = cur;
+  result.status = WidthSearchStatus::kFound;
   return true;
 }
 
@@ -97,7 +119,14 @@ WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& ci
 
   const auto route_width = [&](int w) -> RoutingResult {
     Device device(base.with_width(w));
-    return route_circuit(device, circuit, router_options);
+    if (search_options.faults.has_value() && search_options.faults->any()) {
+      device.install_faults(*search_options.faults);
+    }
+    RouterOptions opts = router_options;
+    if (search_options.node_budget_per_probe > 0) {
+      opts.node_budget = search_options.node_budget_per_probe;
+    }
+    return route_circuit(device, circuit, opts);
   };
 
   const int threads =
@@ -107,11 +136,16 @@ WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& ci
     // Serial reference path — the contract the parallel path reproduces.
     auto try_width = [&](int w) -> RoutingResult {
       RoutingResult r = route_width(w);
-      result.attempts.emplace_back(w, r.success);
+      result.attempts.push_back(probe_of(w, r));
       return r;
     };
     RoutingResult at_hi = try_width(hi);
-    if (!at_hi.success) return result;  // unroutable even at the widest device
+    if (!at_hi.success) {  // unroutable (or budget-undecided) at the widest device
+      result.status = at_hi.budget_exhausted ? WidthSearchStatus::kBudgetExhausted
+                                             : WidthSearchStatus::kUnroutable;
+      return result;
+    }
+    result.status = WidthSearchStatus::kFound;
     result.min_width = hi;
     result.at_min_width = std::move(at_hi);
     int lo = lo0;

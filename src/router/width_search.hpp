@@ -1,6 +1,7 @@
 #pragma once
 
-#include <utility>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "router/router.hpp"
@@ -16,6 +17,45 @@ struct WidthSearchOptions {
   /// of that size. Whatever the value, the result is identical (see the
   /// attempts contract below); threads only change wall-clock time.
   int threads = 0;
+
+  /// Deterministic node-expansion budget granted to EACH width probe
+  /// (overrides RouterOptions::node_budget when > 0; 0 keeps it). Per-probe
+  /// rather than shared across the search on purpose: a shared pot would
+  /// make one width's outcome depend on which speculative probes ran before
+  /// it, destroying the serial-replay contract. Fresh budgets keep every
+  /// per-width outcome a pure function of the width.
+  long long node_budget_per_probe = 0;
+
+  /// Fault spec to install on every probe device (the same defect
+  /// distribution re-drawn at each width) — the yield-curve experiments
+  /// ask "what width does this DEFECTIVE part need". nullopt = pristine.
+  std::optional<FaultSpec> faults;
+};
+
+/// Why the search ended — distinguishes three conditions that used to
+/// collapse into min_width == -1 (silent failure): nothing was probed at
+/// all, the circuit genuinely does not route at max_width, or the probe at
+/// max_width ran out of work budget before deciding.
+enum class WidthSearchStatus {
+  kEmptyRange,        // degenerate [min,max]: no widths probed
+  kFound,             // min_width holds the answer
+  kUnroutable,        // failed at max_width with budget to spare
+  kBudgetExhausted,   // the max_width probe aborted on budget: unknown
+};
+
+/// Printable name ("found", "unroutable", "empty-range", "budget").
+std::string_view width_search_status_name(WidthSearchStatus status);
+
+/// One probe of the serial binary-search trace. A budget-aborted probe
+/// counts as a failure for the search's decisions (the safe direction:
+/// widths are only ever overestimated) but is recorded distinctly so yield
+/// analyses can tell "defect-unroutable" from "ran out of budget".
+struct WidthProbe {
+  int width = 0;
+  bool success = false;
+  bool budget_aborted = false;
+
+  friend bool operator==(const WidthProbe&, const WidthProbe&) = default;
 };
 
 /// Result of the minimum-channel-width search — the quality measure the
@@ -23,9 +63,10 @@ struct WidthSearchOptions {
 /// smallest maximum channel width necessary to completely route the
 /// circuit").
 struct WidthSearchResult {
-  int min_width = -1;  // -1: unroutable within [min_width, max_width]
+  WidthSearchStatus status = WidthSearchStatus::kEmptyRange;
+  int min_width = -1;  // -1 unless status == kFound
   RoutingResult at_min_width;
-  std::vector<std::pair<int, bool>> attempts;  // (width, success) trace
+  std::vector<WidthProbe> attempts;  // serial-order probe trace
 };
 
 /// Finds the smallest channel width at which the router completes the
@@ -48,8 +89,8 @@ struct WidthSearchResult {
 ///
 /// Degenerate ranges are guarded: `min_width` is clamped up to 1, and an
 /// empty range (`min_width > max_width` after clamping, or
-/// `max_width < 1`) returns `{min_width = -1}` with no attempts instead of
-/// probing nonsensical widths.
+/// `max_width < 1`) returns `{status = kEmptyRange, min_width = -1}` with
+/// no attempts instead of probing nonsensical widths.
 WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& circuit,
                                          const RouterOptions& router_options,
                                          const WidthSearchOptions& search_options = {});

@@ -5,6 +5,8 @@
 #include <queue>
 #include <vector>
 
+#include "core/contract.hpp"
+
 namespace fpr {
 
 namespace {
@@ -107,7 +109,8 @@ std::optional<RoutingTree> exact_gmst(const Graph& g, std::span<const NodeId> ne
         stack.emplace_back(mask, c.from);
         break;
       case Choice::Kind::kNone:
-        assert(false && "reconstruction reached an unset dp cell");
+        FPR_CHECK(false, "exact GMST reconstruction reached an unset dp cell (mask "
+                             << mask << ", node " << v << ")");
         break;
     }
   }

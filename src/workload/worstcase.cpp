@@ -1,11 +1,11 @@
 #include "workload/worstcase.hpp"
 
-#include <cassert>
+#include "core/contract.hpp"
 
 namespace fpr {
 
 WorstCaseInstance pfa_weighted_worst_case(int sink_pairs, Weight epsilon) {
-  assert(sink_pairs >= 1);
+  FPR_CHECK(sink_pairs >= 1, "pfa_weighted_worst_case sink_pairs=" << sink_pairs << " must be >= 1");
   const int sinks = 2 * sink_pairs;
   // Node layout (ids chosen so decoys win MaxDom ties against the hub):
   //   0                         source
@@ -34,7 +34,7 @@ WorstCaseInstance pfa_weighted_worst_case(int sink_pairs, Weight epsilon) {
 }
 
 StaircaseInstance pfa_staircase(int steps) {
-  assert(steps >= 1);
+  FPR_CHECK(steps >= 1, "pfa_staircase steps=" << steps << " must be >= 1");
   StaircaseInstance inst{GridGraph(steps + 1, 2 * steps + 1), Net{}};
   inst.net.source = inst.grid.node_at(0, 0);
   // Sinks p_i = (i, 2*(steps - i)): unit horizontal, two-unit vertical
@@ -48,7 +48,8 @@ StaircaseInstance pfa_staircase(int steps) {
 }
 
 WorstCaseInstance idom_set_cover_worst_case(int levels, Weight epsilon) {
-  assert(levels >= 1 && levels <= 20);
+  FPR_CHECK(levels >= 1 && levels <= 20,
+            "idom_set_cover_worst_case levels=" << levels << " outside the supported [1, 20]");
   const int columns = 1 << levels;
   const int sinks = 2 * columns;
 

@@ -158,7 +158,7 @@ TEST_F(OraclesTest, FeasibilityRejectsEmptiedNet) {
   ASSERT_TRUE(result.success);
   // A net claiming "routed" with no edges no longer spans its pins.
   for (auto& net : result.nets) {
-    if (net.routed && !net.edges.empty()) {
+    if (net.routed() && !net.edges.empty()) {
       net.edges.clear();
       break;
     }

@@ -1,0 +1,133 @@
+// The fault-injection yield sweep: deterministic across runs and thread
+// counts, internally consistent, and every degraded cell oracle-clean —
+// the properties that let BENCH_faults.json be a committed artifact.
+
+#include "experiments/fault_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "netlist/synth.hpp"
+
+namespace fpr {
+namespace {
+
+/// A tiny synthetic profile so the sweep stays unit-test sized (the real
+/// bench sweeps the Tables 2/3 suite).
+std::vector<CircuitProfile> tiny_profiles() {
+  CircuitProfile small;
+  small.name = "tiny-a";
+  small.rows = 5;
+  small.cols = 5;
+  small.nets_2_3 = 6;
+  small.nets_4_10 = 2;
+  CircuitProfile smaller;
+  smaller.name = "tiny-b";
+  smaller.rows = 4;
+  smaller.cols = 4;
+  smaller.nets_2_3 = 5;
+  return {small, smaller};
+}
+
+FaultSweepOptions tiny_options() {
+  FaultSweepOptions options;
+  options.fault_permilles = {0, 40};
+  options.max_passes = 8;
+  options.max_width = 12;
+  options.node_budget_per_probe = 5'000'000;
+  return options;
+}
+
+void expect_equal_sweeps(const FaultSweepResult& a, const FaultSweepResult& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].fault_free_width, b.rows[i].fault_free_width);
+    ASSERT_EQ(a.rows[i].cells.size(), b.rows[i].cells.size());
+    for (std::size_t j = 0; j < a.rows[i].cells.size(); ++j) {
+      const FaultSweepCell& x = a.rows[i].cells[j];
+      const FaultSweepCell& y = b.rows[i].cells[j];
+      EXPECT_EQ(x.faults, y.faults);
+      EXPECT_EQ(x.status, y.status);
+      EXPECT_EQ(x.min_width, y.min_width);
+      EXPECT_EQ(x.probes, y.probes);
+      EXPECT_EQ(x.probes_aborted, y.probes_aborted);
+      EXPECT_EQ(x.routed_fraction, y.routed_fraction);
+      EXPECT_EQ(x.nets_blocked_by_fault, y.nets_blocked_by_fault);
+      EXPECT_EQ(x.nets_rerouted_around_faults, y.nets_rerouted_around_faults);
+      EXPECT_EQ(x.detour_wirelength_overhead, y.detour_wirelength_overhead);
+      EXPECT_EQ(x.degraded.total_wirelength, y.degraded.total_wirelength);
+      EXPECT_EQ(x.degraded.work_used, y.degraded.work_used);
+    }
+  }
+}
+
+TEST(FaultSweepTest, SmallestProfilesSortsByAreaAndTruncates) {
+  const std::vector<CircuitProfile> profiles = tiny_profiles();
+  const std::vector<CircuitProfile> picked = smallest_profiles(profiles, 1);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].name, "tiny-b");  // 4x4 < 5x5
+  EXPECT_EQ(smallest_profiles(profiles, 0).size(), 2u);   // 0 = keep all
+  EXPECT_EQ(smallest_profiles(profiles, 10).size(), 2u);  // cap > size
+}
+
+TEST(FaultSweepTest, SweepIsDeterministicAcrossRunsAndThreadCounts) {
+  const std::vector<CircuitProfile> profiles = tiny_profiles();
+  FaultSweepOptions serial = tiny_options();
+  serial.threads = 1;
+  FaultSweepOptions pooled = tiny_options();
+  pooled.threads = 4;
+  const FaultSweepResult a = run_fault_sweep(profiles, ArchFamily::kXc4000, serial);
+  const FaultSweepResult b = run_fault_sweep(profiles, ArchFamily::kXc4000, pooled);
+  const FaultSweepResult c = run_fault_sweep(profiles, ArchFamily::kXc4000, serial);
+  expect_equal_sweeps(a, b);
+  expect_equal_sweeps(a, c);
+}
+
+TEST(FaultSweepTest, CellsAreInternallyConsistentAndOracleClean) {
+  const std::vector<CircuitProfile> profiles = tiny_profiles();
+  const FaultSweepOptions options = tiny_options();
+  const FaultSweepResult result = run_fault_sweep(profiles, ArchFamily::kXc4000, options);
+  ASSERT_EQ(result.rows.size(), profiles.size());
+
+  for (const FaultSweepRow& row : result.rows) {
+    ASSERT_EQ(row.cells.size(), options.fault_permilles.size());
+    // The rate-0 cell defines the yield baseline.
+    EXPECT_FALSE(row.cells[0].faults.any());
+    EXPECT_EQ(row.cells[0].min_width, row.fault_free_width);
+    ASSERT_GT(row.fault_free_width, 0);
+    EXPECT_EQ(row.cells[0].routed_fraction, 1.0);
+
+    const Circuit circuit = synthesize_circuit(row.profile, options.synth_seed);
+    const ArchSpec arch = arch_for(row.profile, row.family).with_width(row.fault_free_width);
+    RouterOptions router;
+    router.max_passes = options.max_passes;
+    router.node_budget = options.node_budget_per_probe;
+    for (const FaultSweepCell& cell : row.cells) {
+      // Defective parts never need a NARROWER channel than pristine ones.
+      if (cell.status == WidthSearchStatus::kFound) {
+        EXPECT_GE(cell.min_width, row.fault_free_width) << row.profile.name;
+      }
+      const auto check = check::check_routing_feasibility(
+          arch, circuit, cell.degraded, router, cell.faults.any() ? &cell.faults : nullptr);
+      EXPECT_TRUE(check.ok()) << row.profile.name << " @ " << cell.permille << ": "
+                              << check.message();
+    }
+  }
+}
+
+TEST(FaultSweepTest, RenderListsEveryCell) {
+  const std::vector<CircuitProfile> profiles = tiny_profiles();
+  FaultSweepOptions options = tiny_options();
+  options.threads = 1;
+  const FaultSweepResult result = run_fault_sweep(profiles, ArchFamily::kXc4000, options);
+  const std::string table = render_fault_sweep(result);
+  EXPECT_NE(table.find("tiny-a"), std::string::npos);
+  EXPECT_NE(table.find("tiny-b"), std::string::npos);
+  EXPECT_NE(table.find("0/1000"), std::string::npos);
+  EXPECT_NE(table.find("40/1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fpr

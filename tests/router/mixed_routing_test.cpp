@@ -42,7 +42,7 @@ TEST(MixedRoutingTest, CriticalNetsGetOptimalPathlengths) {
   ASSERT_TRUE(r.success);
   int checked = 0;
   for (std::size_t i = 0; i < c.nets.size(); ++i) {
-    if (!c.nets[i].critical || !r.nets[i].routed) continue;
+    if (!c.nets[i].critical || !r.nets[i].routed()) continue;
     EXPECT_TRUE(weight_eq(r.nets[i].max_pathlength, r.nets[i].optimal_max_pathlength))
         << "critical net " << i;
     ++checked;

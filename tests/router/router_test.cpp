@@ -29,7 +29,7 @@ TEST(RouterTest, RoutesSmallCircuit) {
   EXPECT_GT(r.total_wirelength, 0);
   EXPECT_EQ(r.nets.size(), 4u);
   for (const auto& net : r.nets) {
-    EXPECT_TRUE(net.routed);
+    EXPECT_TRUE(net.routed());
     EXPECT_FALSE(net.edges.empty());
   }
 }
@@ -144,7 +144,7 @@ TEST(RouterTest, TrivialSameBlockNetAlwaysRoutes) {
   Device device(ArchSpec::xc4000(2, 2, 1));
   const RoutingResult r = route_circuit(device, c, RouterOptions{});
   EXPECT_TRUE(r.success);
-  EXPECT_TRUE(r.nets[0].routed);
+  EXPECT_TRUE(r.nets[0].routed());
   EXPECT_TRUE(r.nets[0].edges.empty());
 }
 
@@ -164,7 +164,7 @@ TEST(RouterTest, FailedDecomposedNetRollsBackItsWires) {
   const Weight base_weight = device.graph().mean_active_edge_weight();
   const RoutingResult r = route_circuit(device, c, options);
   EXPECT_FALSE(r.success);
-  EXPECT_FALSE(r.nets[0].routed);
+  EXPECT_FALSE(r.nets[0].routed());
   EXPECT_EQ(device.used_wire_count(), 0);  // every consumed wire reclaimed
   // Congestion penalties charged by the partial commit are undone too.
   EXPECT_DOUBLE_EQ(device.graph().mean_active_edge_weight(), base_weight);
@@ -187,7 +187,7 @@ TEST(RouterTest, DecomposedWireAccountingMatchesDevice) {
   EXPECT_FALSE(r.success);
   int accounted = 0;
   for (const auto& net : r.nets) {
-    if (net.routed) accounted += net.wire_nodes_used;
+    if (net.routed()) accounted += net.wire_nodes_used;
   }
   EXPECT_EQ(device.used_wire_count(), accounted);
 }

@@ -128,7 +128,7 @@ TEST(WidthSearchTest, ParallelMatchesSerialExactly) {
       EXPECT_EQ(parallel.at_min_width.total_wirelength, serial.at_min_width.total_wirelength);
       ASSERT_EQ(parallel.at_min_width.nets.size(), serial.at_min_width.nets.size());
       for (std::size_t n = 0; n < serial.at_min_width.nets.size(); ++n) {
-        EXPECT_EQ(parallel.at_min_width.nets[n].routed, serial.at_min_width.nets[n].routed);
+        EXPECT_EQ(parallel.at_min_width.nets[n].routed(), serial.at_min_width.nets[n].routed());
         EXPECT_EQ(parallel.at_min_width.nets[n].edges, serial.at_min_width.nets[n].edges);
       }
     }
