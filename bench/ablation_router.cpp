@@ -6,7 +6,6 @@
 //     mechanism behind Tables 2/3).
 // Reports minimum channel width and passes-to-route for each variant.
 
-#include <chrono>
 #include <cstdio>
 
 #include "analysis/table.hpp"
@@ -53,10 +52,9 @@ int main() {
   WidthSearchOptions search;
   search.max_width = 24;
   for (const auto& variant : variants) {
-    const auto start = std::chrono::steady_clock::now();
+    const fpr::bench::Stopwatch watch;
     const auto result = find_min_channel_width(base, circuit, variant.options, search);
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const double elapsed = watch.seconds();
     table.add_row({variant.label,
                    result.min_width > 0 ? std::to_string(result.min_width) : "unroutable",
                    std::to_string(result.at_min_width.passes),

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +13,47 @@
 #include "core/parallel.hpp"
 
 namespace fpr::bench {
+
+// ---------------------------------------------------------------------------
+// Wall-clock access, confined.
+//
+// Measured results must never depend on the clock (fpr-lint rule
+// `wall-clock`), but *timing a benchmark* is inherently a clock read. Every
+// bench takes its timings through Stopwatch and its record timestamps
+// through iso_timestamp(), so these two functions are the only suppressed
+// clock reads outside src/core — a new clock read anywhere else is a lint
+// finding, not a judgment call.
+// ---------------------------------------------------------------------------
+
+/// Monotonic elapsed-time measurement for bench reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now()) {}
+
+  /// Seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(now() - start_).count();
+  }
+
+  void restart() { start_ = now(); }
+
+ private:
+  // fpr-lint: allow(wall-clock) benches time themselves; timings are reported, never fed back into results
+  static std::chrono::steady_clock::time_point now() { return std::chrono::steady_clock::now(); }
+
+  // fpr-lint: allow(wall-clock) time_point member of the one sanctioned bench timer
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// UTC timestamp ("2026-08-06T12:00:00Z") stamped into perf-trajectory JSON
+/// records so a committed measurement names when it was taken.
+inline std::string iso_timestamp() {
+  // fpr-lint: allow(wall-clock) records when a measurement was taken; not an input to any result
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  return buf;
+}
 
 /// FPR_FULL=1 enables the heaviest circuit sweeps.
 inline bool full_mode() {

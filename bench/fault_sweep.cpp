@@ -9,7 +9,6 @@
 // across runs, platforms, and FPR_THREADS (fixed seeds, node budgets
 // instead of wall-clock, no timestamps in the document).
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -95,11 +94,10 @@ int main(int argc, char** argv) {
   const std::vector<CircuitProfile> xc4000 =
       smallest_profiles(xc4000_profiles(), per_family);
 
-  const auto start = std::chrono::steady_clock::now();
+  const fpr::bench::Stopwatch watch;
   const FaultSweepResult r3000 = run_fault_sweep(xc3000, ArchFamily::kXc3000, options);
   const FaultSweepResult r4000 = run_fault_sweep(xc4000, ArchFamily::kXc4000, options);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double elapsed = watch.seconds();
 
   std::printf("XC3000 (Fs=6, Fc=0.6W)\n%s\n", render_fault_sweep(r3000).c_str());
   std::printf("XC4000 (Fs=3, Fc=W)\n%s\n", render_fault_sweep(r4000).c_str());

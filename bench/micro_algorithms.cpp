@@ -9,6 +9,7 @@
 
 #include <random>
 
+#include "core/rng.hpp"
 #include "core/route.hpp"
 #include "experiments/tables23.hpp"
 #include "graph/grid.hpp"
@@ -21,16 +22,16 @@ namespace {
 Graph paper_random_graph(unsigned seed) {
   std::mt19937_64 rng(seed);
   Graph g(50);
-  std::uniform_int_distribution<NodeId> any(0, 49);
-  std::uniform_real_distribution<Weight> weight(1.0, 10.0);
+  const auto weight = [&rng] { return 1.0 + 9.0 * draw_unit(rng); };
   for (NodeId i = 1; i < 50; ++i) {
-    std::uniform_int_distribution<NodeId> pred(0, i - 1);
-    g.add_edge(i, pred(rng), weight(rng));
+    const NodeId pred = static_cast<NodeId>(draw_range(rng, 0, i - 1));
+    g.add_edge(i, pred, weight());
   }
   for (int e = 49; e < 1000; ++e) {
-    NodeId u = any(rng), v = any(rng);
+    NodeId u = static_cast<NodeId>(draw_range(rng, 0, 49));
+    NodeId v = static_cast<NodeId>(draw_range(rng, 0, 49));
     if (u == v) v = (v + 1) % 50;
-    g.add_edge(u, v, weight(rng));
+    g.add_edge(u, v, weight());
   }
   return g;
 }
@@ -38,9 +39,8 @@ Graph paper_random_graph(unsigned seed) {
 std::vector<NodeId> pick_net(NodeId nodes, int pins, unsigned seed) {
   std::mt19937_64 rng(seed);
   std::vector<NodeId> net;
-  std::uniform_int_distribution<NodeId> any(0, nodes - 1);
   while (static_cast<int>(net.size()) < pins) {
-    const NodeId v = any(rng);
+    const auto v = static_cast<NodeId>(draw_range(rng, 0, nodes - 1));
     bool fresh = true;
     for (const NodeId u : net) fresh = fresh && u != v;
     if (fresh) net.push_back(v);

@@ -11,10 +11,8 @@
 // Writes a machine-readable record (default BENCH_dijkstra.json, override
 // with --json <path>) — the start of the repo's perf trajectory.
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <ctime>
 #include <functional>
 #include <random>
 #include <string>
@@ -22,6 +20,7 @@
 
 #include "analysis/table.hpp"
 #include "bench_util.hpp"
+#include "core/rng.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/dijkstra_reference.hpp"
 #include "graph/grid.hpp"
@@ -52,11 +51,11 @@ double time_per_run(const std::function<void(int)>& body, int batch, double min_
   for (int i = 0; i < batch; ++i) body(i);  // warmup: touch arenas, caches
   long long runs = 0;
   double elapsed = 0;
-  const auto t0 = std::chrono::steady_clock::now();
+  const bench::Stopwatch watch;
   while (elapsed < min_seconds) {
     for (int i = 0; i < batch; ++i) body(i);
     runs += batch;
-    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    elapsed = watch.seconds();
   }
   runs_out = runs;
   return 1e9 * elapsed / static_cast<double>(runs);
@@ -142,26 +141,19 @@ Graph congested_grid(int side, int nets_at_20x20, unsigned seed) {
 Graph random_graph(NodeId nodes, EdgeId extra, unsigned seed) {
   std::mt19937_64 rng(seed);
   Graph g(nodes);
-  std::uniform_int_distribution<int> w(1, 10);
+  const auto weight = [&rng] { return static_cast<Weight>(draw_range(rng, 1, 10)); };
   for (NodeId i = 1; i < nodes; ++i) {
-    std::uniform_int_distribution<NodeId> pred(0, i - 1);
-    g.add_edge(i, pred(rng), w(rng));
+    const NodeId pred = static_cast<NodeId>(draw_range(rng, 0, i - 1));
+    g.add_edge(i, pred, weight());
   }
-  std::uniform_int_distribution<NodeId> any(0, nodes - 1);
   for (EdgeId added = 0; added < extra;) {
-    const NodeId u = any(rng), v = any(rng);
+    const auto u = static_cast<NodeId>(draw_range(rng, 0, nodes - 1));
+    const auto v = static_cast<NodeId>(draw_range(rng, 0, nodes - 1));
     if (u == v) continue;
-    g.add_edge(u, v, w(rng));
+    g.add_edge(u, v, weight());
     ++added;
   }
   return g;
-}
-
-std::string iso_timestamp() {
-  const std::time_t now = std::time(nullptr);
-  char buf[32];
-  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
-  return buf;
 }
 
 }  // namespace
@@ -196,7 +188,7 @@ int main(int argc, char** argv) {
     cases.push_back({"grid40_congested_scoped8", std::move(g40), targets});
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  const bench::Stopwatch watch;
   TextTable table({"Case", "V", "E", "old ns/run", "new ns/run", "new+alloc", "speedup"});
   bench::Json rows = bench::Json::array();
   double log_speedup_sum = 0;
@@ -223,8 +215,7 @@ int main(int argc, char** argv) {
   }
   const double geomean =
       std::exp(log_speedup_sum / static_cast<double>(cases.size()));
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double elapsed = watch.seconds();
 
   std::printf("%s", table.render().c_str());
   std::printf("\ngeomean speedup %.2fx  (single thread; both engines produce identical trees)\n",
@@ -234,7 +225,7 @@ int main(int argc, char** argv) {
   bench::Json doc = bench::Json::object();
   doc.field("schema", "fpr-bench-v1")
       .field("bench", "micro_dijkstra")
-      .field("timestamp_utc", iso_timestamp())
+      .field("timestamp_utc", bench::iso_timestamp())
       .field("threads_available", default_thread_count())
       .field("min_seconds_per_measurement", min_seconds)
       .field("geomean_speedup", geomean)

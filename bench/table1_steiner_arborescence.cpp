@@ -2,7 +2,6 @@
 // pathlength % (w.r.t. optimal) for the eight algorithms over 50 random nets
 // per (congestion level, net size) on 20x20 grids.
 
-#include <chrono>
 #include <cstdio>
 
 #include "analysis/table.hpp"
@@ -18,10 +17,9 @@ int main(int argc, char** argv) {
       "50 nets per (congestion, net size); wirelength vs KMB, max path vs OPT\n"
       "seed 1995, candidate strategy: all nodes (paper-faithful)");
 
-  const auto start = std::chrono::steady_clock::now();
+  const fpr::bench::Stopwatch watch;
   const Table1Result result = run_table1();
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double elapsed = watch.seconds();
 
   std::printf("%s", render_table1(result).c_str());
 

@@ -3,7 +3,6 @@
 // IKMB router vs the two-pin baseline (SEGA/GBP stand-in), published
 // SEGA/GBP numbers quoted alongside. Profile-matched synthetic circuits.
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -31,10 +30,9 @@ int main(int argc, char** argv) {
   options.max_passes = 12;
   options.max_width = 24;
 
-  const auto start = std::chrono::steady_clock::now();
+  const fpr::bench::Stopwatch watch;
   const auto result = run_width_experiment(profiles, ArchFamily::kXc4000, options);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double elapsed = watch.seconds();
 
   std::printf("%s", render_width_experiment(result).c_str());
   std::printf(

@@ -3,7 +3,6 @@
 // algorithms buy optimal source-sink pathlengths at a channel-width
 // premium; IDOM's premium is smaller than PFA's.
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -33,10 +32,9 @@ int main(int argc, char** argv) {
   options.max_passes = 10;
   options.max_width = 24;
 
-  const auto start = std::chrono::steady_clock::now();
+  const fpr::bench::Stopwatch watch;
   const auto result = run_table4(profiles, options);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double elapsed = watch.seconds();
 
   std::printf("%s", render_table4(result).c_str());
   std::printf("[table4] total time %.1fs (seed %u)\n", elapsed, options.seed);

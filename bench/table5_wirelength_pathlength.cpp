@@ -4,7 +4,6 @@
 // paper highlights: ~10-20% more wire buys ~10% shorter critical paths,
 // with IDOM dominating PFA on both sides.
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -32,10 +31,9 @@ int main(int argc, char** argv) {
   // requires a width at which all three algorithms complete.
   for (const auto& p : profiles) options.widths.push_back(p.paper_table5_width + 2);
 
-  const auto start = std::chrono::steady_clock::now();
+  const fpr::bench::Stopwatch watch;
   const auto result = run_table5(profiles, options);
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double elapsed = watch.seconds();
 
   std::printf("%s", render_table5(result).c_str());
   std::printf("[table5] total time %.1fs (seed %u)\n", elapsed, options.seed);

@@ -13,7 +13,11 @@ namespace fpr {
 
 /// Process-wide observability counters, bumped by measure() and by the
 /// src/check oracle/fuzz subsystem. Atomic so the parallel sweeps can bump
-/// them from worker threads.
+/// them from worker threads. Lock-free by design: every member is its own
+/// std::atomic, so there is no capability for core/annotations.hpp to guard
+/// — the clang thread-safety CI job checks this file compiles with the
+/// analysis enabled precisely because any future non-atomic member added
+/// here must come with a Mutex and FPR_GUARDED_BY.
 ///
 /// They are RESETTABLE (reset(), and test fixtures call reset in SetUp) so
 /// that any test asserting on them is order-independent: under `ctest -j`

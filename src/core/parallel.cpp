@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(int threads) : size_(threads < 1 ? 1 : threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -36,8 +36,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.wait(mu_, [this]() FPR_REQUIRES(mu_) { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and nothing left
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -49,7 +49,7 @@ void ThreadPool::worker_loop() {
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -66,7 +66,7 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
     return fut;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.emplace_back([task] { (*task)(); });
   }
   cv_.notify_one();
@@ -82,16 +82,21 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 
   struct Batch {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::size_t remaining;
-    std::exception_ptr error;
+    Mutex mu;
+    CondVar cv;
+    std::size_t remaining FPR_GUARDED_BY(mu) = 0;
+    std::exception_ptr error FPR_GUARDED_BY(mu);
   };
   auto batch = std::make_shared<Batch>();
-  batch->remaining = count;
+  {
+    // No other thread can see `batch` yet; the lock exists to satisfy the
+    // guarded_by contract (uncontended, once per batch — free).
+    MutexLock lock(batch->mu);
+    batch->remaining = count;
+  }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < count; ++i) {
       // `body` outlives the batch: this call only returns once
       // batch->remaining hits zero, so capturing it by reference is safe.
@@ -99,11 +104,11 @@ void ThreadPool::parallel_for(std::size_t count,
         try {
           body(i);
         } catch (...) {
-          std::lock_guard<std::mutex> block(batch->mu);
+          MutexLock block(batch->mu);
           if (!batch->error) batch->error = std::current_exception();
         }
         {
-          std::lock_guard<std::mutex> block(batch->mu);
+          MutexLock block(batch->mu);
           --batch->remaining;
         }
         batch->cv.notify_all();
@@ -114,13 +119,22 @@ void ThreadPool::parallel_for(std::size_t count,
 
   // Caller-helps wait: keep draining the queue so that nested
   // parallel_for calls issued from worker threads always make progress.
-  for (;;) {
+  bool done = false;
+  while (!done) {
     if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lock(batch->mu);
-    if (batch->remaining == 0) break;
-    batch->cv.wait_for(lock, std::chrono::milliseconds(2));
+    MutexLock lock(batch->mu);
+    if (batch->remaining == 0) {
+      done = true;
+    } else {
+      batch->cv.wait_for(batch->mu, std::chrono::milliseconds(2));
+    }
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(batch->mu);
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

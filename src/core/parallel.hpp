@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/annotations.hpp"
 
 namespace fpr {
 
@@ -59,11 +59,11 @@ class ThreadPool {
   bool try_run_one();
 
   const int size_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ FPR_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only in the ctor/dtor
+  bool stop_ FPR_GUARDED_BY(mu_) = false;
 };
 
 /// Convenience fan-out used by the width search and harnesses: resolves a

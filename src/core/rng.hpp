@@ -39,9 +39,16 @@ constexpr std::uint64_t salt64(std::string_view name) {
 /// stream). Good enough for fuzzing and fault sampling; NOT a crypto RNG.
 class SplitMixRng {
  public:
+  using result_type = std::uint64_t;
+
   explicit SplitMixRng(std::uint64_t seed) : state_(seed) {}
 
   std::uint64_t next() { return mix64(state_++); }
+
+  /// URBG interface, so SplitMixRng works with the draw_* helpers below.
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
 
   /// Uniform-ish value in [0, bound); bound > 0.
   std::uint64_t below(std::uint64_t bound) { return next() % bound; }
@@ -54,5 +61,56 @@ class SplitMixRng {
  private:
   std::uint64_t state_;
 };
+
+// ---------------------------------------------------------------------------
+// Portable bounded draws.
+//
+// std::uniform_int_distribution / std::normal_distribution are
+// implementation-defined: libstdc++, libc++ and MSVC consume the engine
+// differently and map its output differently, so the same seed produces
+// different case streams on different standard libraries. Every draw in
+// deterministic code (src/, bench/) goes through these helpers instead,
+// which consume exactly one (draw_below/draw_range/draw_unit) or twelve
+// (draw_gaussian) engine outputs and use only exactly-specified integer and
+// IEEE-754 arithmetic. `fpr-lint` rule `nondet-random` enforces this.
+//
+// Rng is any 64-bit URBG (std::mt19937_64 — itself fully specified by the
+// standard — or SplitMixRng).
+// ---------------------------------------------------------------------------
+
+/// Uniform-ish value in [0, bound); bound > 0. Uses a plain modulo: the
+/// bias is < bound/2^64, irrelevant for workload generation, and the cost
+/// of rejection sampling (a data-dependent number of engine draws) would
+/// make streams harder to reason about.
+template <class Rng>
+std::uint64_t draw_below(Rng& rng, std::uint64_t bound) {
+  return rng() % bound;
+}
+
+/// Uniform-ish integer in [lo, hi] inclusive; requires lo <= hi.
+template <class Rng>
+int draw_range(Rng& rng, int lo, int hi) {
+  return lo + static_cast<int>(
+                  draw_below(rng, static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1));
+}
+
+/// Uniform double in [0, 1) with 53 random bits — the exact dyadic value
+/// (rng() >> 11) * 2^-53, identical on every IEEE-754 platform.
+template <class Rng>
+double draw_unit(Rng& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Approximately standard-normal deviate via the Irwin–Hall sum of twelve
+/// uniforms (mean 6, variance 1). Chosen over Box–Muller/ziggurat because it
+/// needs no transcendental functions — libm's sin/log differ across
+/// platforms in the last ulp, which would fork the stream — and the tails
+/// (clipped at |z| = 6) don't matter for pin scatter.
+template <class Rng>
+double draw_gaussian(Rng& rng) {
+  double sum = 0;
+  for (int i = 0; i < 12; ++i) sum += draw_unit(rng);
+  return sum - 6.0;
+}
 
 }  // namespace fpr

@@ -41,7 +41,9 @@ namespace fpr {
 /// One arena serves one thread. Use thread_local_instance() to get this
 /// thread's pooled arena; that composes with the src/core/parallel pool
 /// (each worker thread owns one arena for the pool's lifetime) and with
-/// ad-hoc std::threads alike.
+/// ad-hoc std::threads alike. Isolation is by construction (thread_local
+/// storage), not by locking, so no member carries an FPR_GUARDED_BY from
+/// core/annotations.hpp: an arena is never reachable from two threads.
 class DijkstraArena {
  public:
   /// This thread's pooled arena.
@@ -121,7 +123,9 @@ class DijkstraArena {
   // (an infinite tentative distance can never win the strict-improvement
   // test), and non-negative doubles order as their uint64 bit patterns, so
   // one unsigned comparison yields the lexicographic (dist, node) order.
-  using HeapEntry = unsigned __int128;
+  // __extension__ keeps -Wpedantic quiet about the non-ISO 128-bit type;
+  // both GCC and clang honor it, and both targets guarantee __int128.
+  __extension__ typedef unsigned __int128 HeapEntry;
   struct Origin {
     NodeId parent;
     EdgeId via;

@@ -177,8 +177,12 @@ void Graph::restore_node(NodeId v) {
 
 const CsrAdjacency& Graph::csr() const {
   const std::uint64_t want = structural_revision_;
-  if (csr_structural_.load(std::memory_order_acquire) == want) return csr_;
-  std::lock_guard<std::mutex> lock(csr_mu_);
+  if (csr_structural_.load(std::memory_order_acquire) != want) rebuild_csr(want);
+  return published_csr();
+}
+
+void Graph::rebuild_csr(std::uint64_t want) const {
+  MutexLock lock(csr_mu_);
   if (csr_structural_.load(std::memory_order_relaxed) != want) {
     const auto n = static_cast<std::size_t>(node_count());
     csr_.offsets.assign(n + 1, 0);
@@ -214,7 +218,6 @@ const CsrAdjacency& Graph::csr() const {
     }
     csr_structural_.store(want, std::memory_order_release);
   }
-  return csr_;
 }
 
 }  // namespace fpr

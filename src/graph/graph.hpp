@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/contract.hpp"
 #include "graph/types.hpp"
 
@@ -160,8 +160,18 @@ class Graph {
   /// mutation usability.
   void sync_edge_usability(EdgeId e, bool usable_now);
   /// Mirrors a traversal-weight change into the CSR snapshot's per-slot
-  /// weight stream, when a snapshot is currently built.
-  void sync_csr_weight(EdgeId e, Weight w);
+  /// weight stream, when a snapshot is currently built. Writes csr_ without
+  /// csr_mu_: mutators run under the documented writer-exclusivity contract
+  /// (no concurrent readers), which the analysis cannot express.
+  void sync_csr_weight(EdgeId e, Weight w) FPR_NO_THREAD_SAFETY_ANALYSIS;
+  /// Rebuilds the CSR snapshot under csr_mu_ if it is stale at `want`.
+  void rebuild_csr(std::uint64_t want) const FPR_EXCLUDES(csr_mu_);
+  /// Reads csr_ without csr_mu_ — safe once csr_structural_ was
+  /// acquire-loaded equal to structural_revision(): the builder
+  /// release-stores that value only after the snapshot is complete, and a
+  /// current snapshot is never written again (release/acquire publication,
+  /// which guarded_by cannot express).
+  const CsrAdjacency& published_csr() const FPR_NO_THREAD_SAFETY_ANALYSIS { return csr_; }
 
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> incident_;
@@ -178,9 +188,9 @@ class Graph {
   // Lazily built CSR snapshot. csr_structural_ is the structural revision
   // the snapshot was built at (kCsrStale = never built).
   static constexpr std::uint64_t kCsrStale = ~std::uint64_t{0};
-  mutable std::mutex csr_mu_;
+  mutable Mutex csr_mu_;
   mutable std::atomic<std::uint64_t> csr_structural_{kCsrStale};
-  mutable CsrAdjacency csr_;
+  mutable CsrAdjacency csr_ FPR_GUARDED_BY(csr_mu_);
 };
 
 }  // namespace fpr

@@ -29,6 +29,12 @@ namespace fpr {
 /// from an already-computed tree, cache_misses() counts the ones that had
 /// to run Dijkstra (including bounded-tree upgrades). src/core/metrics
 /// snapshots both for reporting.
+///
+/// Thread model: one oracle per thread, like the DijkstraArena it drives —
+/// the parallel sweeps give every worker its own oracle over its own Device
+/// copy, so the cache map is deliberately unsynchronized (no Mutex /
+/// FPR_GUARDED_BY from core/annotations.hpp). Sharing one instance across
+/// threads is a bug.
 class PathOracle {
  public:
   explicit PathOracle(const Graph& g) : g_(&g), revision_(g.revision()) {}

@@ -3,22 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/rng.hpp"
+
 namespace fpr {
 
 namespace {
 
 int clamp_to(int v, int lo, int hi) { return std::max(lo, std::min(hi, v)); }
 
-/// Places `pins` distinct blocks clustered around a random center.
+/// Places `pins` distinct blocks clustered around a random center. All draws
+/// go through core/rng.hpp so the placement is identical on every platform
+/// and standard library (std::*_distribution is implementation-defined).
 std::vector<PinRef> place_net(int rows, int cols, int pins, double sigma_frac,
                               std::mt19937_64& rng) {
-  std::uniform_int_distribution<int> cx(0, cols - 1);
-  std::uniform_int_distribution<int> cy(0, rows - 1);
   const double sigma = std::max(1.5, sigma_frac * std::min(rows, cols));
-  std::normal_distribution<double> scatter(0.0, sigma);
 
-  const int center_x = cx(rng);
-  const int center_y = cy(rng);
+  const int center_x = draw_range(rng, 0, cols - 1);
+  const int center_y = draw_range(rng, 0, rows - 1);
   std::vector<PinRef> placed;
   placed.reserve(static_cast<std::size_t>(pins));
   int attempts = 0;
@@ -26,14 +27,16 @@ std::vector<PinRef> place_net(int rows, int cols, int pins, double sigma_frac,
   while (static_cast<int>(placed.size()) < pins && attempts < max_attempts) {
     ++attempts;
     PinRef p;
-    p.x = clamp_to(center_x + static_cast<int>(std::lround(scatter(rng))), 0, cols - 1);
-    p.y = clamp_to(center_y + static_cast<int>(std::lround(scatter(rng))), 0, rows - 1);
+    p.x = clamp_to(center_x + static_cast<int>(std::lround(sigma * draw_gaussian(rng))), 0,
+                   cols - 1);
+    p.y = clamp_to(center_y + static_cast<int>(std::lround(sigma * draw_gaussian(rng))), 0,
+                   rows - 1);
     if (std::find(placed.begin(), placed.end(), p) == placed.end()) placed.push_back(p);
   }
   // Dense nets on small arrays can exhaust the cluster; fall back to uniform
   // placement for the remainder.
   while (static_cast<int>(placed.size()) < pins) {
-    PinRef p{cx(rng), cy(rng)};
+    PinRef p{draw_range(rng, 0, cols - 1), draw_range(rng, 0, rows - 1)};
     if (std::find(placed.begin(), placed.end(), p) == placed.end()) placed.push_back(p);
   }
   return placed;
@@ -61,9 +64,8 @@ Circuit synthesize_circuit(const CircuitProfile& profile, unsigned seed,
       {profile.nets_over_10, 11, over_cap},
   };
   for (const auto& bucket : buckets) {
-    std::uniform_int_distribution<int> pin_count(bucket.min_pins, bucket.max_pins);
     for (int i = 0; i < bucket.count; ++i) {
-      const int pins = std::min(pin_count(rng), blocks);
+      const int pins = std::min(draw_range(rng, bucket.min_pins, bucket.max_pins), blocks);
       auto placed = place_net(profile.rows, profile.cols, pins, options.locality_sigma, rng);
       CircuitNet net;
       net.source = placed.front();

@@ -47,6 +47,7 @@ std::vector<NodeId> steiner_candidates(const Graph& g, std::span<const NodeId> t
           }
         }
       }
+      // fpr-lint: allow(unordered-iter) order-independent: membership filter only, and nodes is sorted on the next line
       for (const NodeId v : corridor) {
         if (g.node_active(v) && terminal_set.count(v) == 0) nodes.push_back(v);
       }

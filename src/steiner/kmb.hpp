@@ -15,6 +15,9 @@ namespace testhooks {
 /// is still a valid spanning tree of the net — it passes every structural
 /// oracle — but its cost blows through the 2*OPT bound, which is exactly
 /// what the approximation-bound oracle must detect. Never set outside tests.
+/// Atomic (not FPR_GUARDED_BY a mutex) because parallel-sweep workers read
+/// it concurrently with the test writer; relaxed ordering suffices since the
+/// flag carries no associated data.
 extern std::atomic<bool> kmb_invert_mst_selection;
 }  // namespace testhooks
 

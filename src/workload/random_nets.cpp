@@ -2,14 +2,16 @@
 
 #include <algorithm>
 
+#include "core/rng.hpp"
+
 namespace fpr {
 
 Net random_grid_net(const GridGraph& grid, int pins, std::mt19937_64& rng) {
-  std::uniform_int_distribution<NodeId> any(0, grid.graph().node_count() - 1);
+  const NodeId nodes = grid.graph().node_count();
   std::vector<NodeId> picked;
   picked.reserve(static_cast<std::size_t>(pins));
   while (static_cast<int>(picked.size()) < pins) {
-    const NodeId v = any(rng);
+    const NodeId v = static_cast<NodeId>(draw_below(rng, static_cast<std::uint64_t>(nodes)));
     if (std::find(picked.begin(), picked.end(), v) == picked.end()) picked.push_back(v);
   }
   Net net;
@@ -19,8 +21,7 @@ Net random_grid_net(const GridGraph& grid, int pins, std::mt19937_64& rng) {
 }
 
 Net random_grid_net(const GridGraph& grid, int min_pins, int max_pins, std::mt19937_64& rng) {
-  std::uniform_int_distribution<int> pin_count(min_pins, max_pins);
-  return random_grid_net(grid, pin_count(rng), rng);
+  return random_grid_net(grid, draw_range(rng, min_pins, max_pins), rng);
 }
 
 }  // namespace fpr

@@ -1,0 +1,11 @@
+// Fixture: must trigger exactly one `assert` finding (line 8).
+// static_assert and the word in comments/strings must NOT trigger.
+#include <cassert>
+
+static_assert(sizeof(int) >= 4, "static_assert is fine");
+
+void f(int x) {
+  assert(x > 0);
+  const char* s = "assert(in a string) is fine";
+  (void)s;
+}

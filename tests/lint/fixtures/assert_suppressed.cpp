@@ -1,0 +1,6 @@
+// Fixture: same violation as assert_bad.cpp, covered by an inline allow().
+#include <cassert>
+
+void f(int x) {
+  assert(x > 0);  // fpr-lint: allow(assert) fixture demonstrating a documented exception
+}

@@ -1,0 +1,30 @@
+// Fixture: must trigger exactly one `catch-all` finding (the swallowing
+// handler). Handlers that rethrow or capture must NOT trigger.
+#include <exception>
+
+int f();
+
+int swallow() {
+  try {
+    return f();
+  } catch (...) {
+    return -1;
+  }
+}
+
+int rethrow() {
+  try {
+    return f();
+  } catch (...) {
+    throw;  // rethrow: fine
+  }
+}
+
+std::exception_ptr capture() {
+  try {
+    (void)f();
+    return nullptr;
+  } catch (...) {
+    return std::current_exception();  // capture: fine
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: same violation as catch_all_bad.cpp, documented inline.
+int f();
+
+int swallow() {
+  try {
+    return f();
+    // fpr-lint: allow(catch-all) fixture: boundary where any failure maps to a sentinel
+  } catch (...) {
+    return -1;
+  }
+}

@@ -1,0 +1,8 @@
+// Fixture: a reason-less allow() must NOT suppress, and must itself be
+// reported as a `lint-directive` finding; same for an unknown rule name.
+#include <cassert>
+
+void f(int x) {
+  assert(x > 0);  // fpr-lint: allow(assert)
+  assert(x < 9);  // fpr-lint: allow(no-such-rule) reason present but rule unknown
+}

@@ -1,0 +1,15 @@
+// Fixture: must trigger exactly two `naked-new` findings (lines 9 and 10).
+// Deleted special members and make_unique must NOT trigger.
+#include <memory>
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;             // deleted function: fine
+  NoCopy& operator=(const NoCopy&) = delete;  // deleted function: fine
+};
+
+void f() {
+  int* p = new int(7);
+  delete p;
+  auto q = std::make_unique<int>(7);  // RAII: fine
+  (void)q;
+}

@@ -1,0 +1,5 @@
+// Fixture: same violations as naked_new_bad.cpp, documented inline.
+void f() {
+  int* p = new int(7);  // fpr-lint: allow(naked-new) fixture: placement-style arena idiom
+  delete p;             // fpr-lint: allow(naked-new) fixture: paired with the arena new above
+}

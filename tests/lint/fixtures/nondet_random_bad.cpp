@@ -1,0 +1,12 @@
+// Fixture: must trigger exactly one `nondet-random` finding (line 7).
+// A member *named* rand that is never called must NOT trigger.
+#include <random>
+
+int f() {
+  std::mt19937_64 rng(42);  // engine itself is fully specified: fine
+  std::uniform_int_distribution<int> dist(0, 9);
+  struct S {
+    int rand;
+  } s{3};
+  return dist(rng) + s.rand;
+}

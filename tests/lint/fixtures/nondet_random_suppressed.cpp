@@ -1,0 +1,10 @@
+// Fixture: same violation as nondet_random_bad.cpp, suppressed on the
+// comment-only line directly above the finding.
+#include <random>
+
+int f() {
+  std::mt19937_64 rng(42);
+  // fpr-lint: allow(nondet-random) fixture demonstrating the line-above directive form
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(rng);
+}

@@ -1,0 +1,14 @@
+// Fixture: must trigger exactly one `pointer-key` finding (line 8).
+// Ordered containers keyed on value types must NOT trigger.
+#include <map>
+#include <set>
+#include <string>
+
+void f() {
+  std::map<int*, int> by_address;
+  std::map<std::string, int> by_name;  // value key: fine
+  std::set<int> ids;                   // value key: fine
+  (void)by_address;
+  (void)by_name;
+  (void)ids;
+}

@@ -1,0 +1,7 @@
+// Fixture: same violation as pointer_key_bad.cpp, documented inline.
+#include <map>
+
+void f() {
+  std::map<int*, int> by_address;  // fpr-lint: allow(pointer-key) fixture: never iterated, lookup only
+  (void)by_address;
+}

@@ -1,0 +1,14 @@
+// Fixture: must trigger exactly one `unordered-iter` finding (line 12).
+// Lookup (.at/[]/count) and iterating the MAPPED value must NOT trigger.
+#include <unordered_map>
+#include <vector>
+
+int f() {
+  std::unordered_map<int, std::vector<int>> buckets;
+  buckets[0] = {1, 2, 3};
+  int sum = 0;
+  for (int v : buckets.at(0)) sum += v;  // iterates the mapped vector: fine
+  if (buckets.count(1) != 0) ++sum;      // membership test: fine
+  for (const auto& [k, vs] : buckets) sum += k + static_cast<int>(vs.size());
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Fixture: same violation as unordered_iter_bad.cpp, documented inline.
+#include <unordered_map>
+
+int f() {
+  std::unordered_map<int, int> counts{{1, 2}, {3, 4}};
+  int sum = 0;
+  // fpr-lint: allow(unordered-iter) commutative sum: order cannot affect the result
+  for (const auto& [k, v] : counts) sum += k + v;
+  return sum;
+}

@@ -1,0 +1,10 @@
+// Fixture: must trigger exactly one `wall-clock` finding (line 7).
+// The word "time" as a plain identifier or member must NOT trigger.
+#include <chrono>
+
+double f() {
+  const double time = 1.0;  // identifier named time: fine
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return time;
+}

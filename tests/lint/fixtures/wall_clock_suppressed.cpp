@@ -1,0 +1,8 @@
+// Fixture: same violation as wall_clock_bad.cpp, covered inline.
+#include <chrono>
+
+double f() {
+  const auto t0 = std::chrono::steady_clock::now();  // fpr-lint: allow(wall-clock) fixture: timing is reported, never fed back
+  (void)t0;
+  return 0.0;
+}

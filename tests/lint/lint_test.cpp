@@ -1,0 +1,201 @@
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+// Fixture-driven proof that every fpr-lint rule is live (fires on a minimal
+// violating file), precise (does not fire on the adjacent non-violations in
+// the same fixture), and suppressible (the _suppressed twin reports only
+// documented exceptions). The final test locks the real tree: src/ and
+// bench/ must stay clean, which is the same gate CI enforces.
+
+namespace fpr::lint {
+namespace {
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  std::vector<Finding> findings;
+  const std::string path = std::string(FPR_LINT_FIXTURES) + "/" + name;
+  EXPECT_TRUE(lint_file(path, Options{}, findings)) << "unreadable fixture " << path;
+  return findings;
+}
+
+std::vector<Finding> unsuppressed(const std::vector<Finding>& findings) {
+  std::vector<Finding> out;
+  std::copy_if(findings.begin(), findings.end(), std::back_inserter(out),
+               [](const Finding& f) { return !f.suppressed; });
+  return out;
+}
+
+TEST(LintCatalog, SevenRulesAllKnown) {
+  const auto& catalog = rule_catalog();
+  ASSERT_EQ(catalog.size(), 7u);
+  for (const auto& rule : catalog) {
+    EXPECT_TRUE(is_known_rule(rule.name));
+    EXPECT_FALSE(rule.summary.empty());
+  }
+  EXPECT_FALSE(is_known_rule("no-such-rule"));
+}
+
+TEST(LintFixtures, AssertFiresOnceAndOnlyOnTheCall) {
+  const auto findings = unsuppressed(lint_fixture("assert_bad.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "assert");
+  EXPECT_EQ(findings[0].line, 8);
+}
+
+TEST(LintFixtures, AssertSuppressedVariantIsClean) {
+  const auto findings = lint_fixture("assert_suppressed.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_FALSE(findings[0].suppress_reason.empty());
+}
+
+TEST(LintFixtures, NondetRandomFlagsDistributionNotMemberNamedRand) {
+  const auto findings = unsuppressed(lint_fixture("nondet_random_bad.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "nondet-random");
+  EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(LintFixtures, NondetRandomSuppressedViaLineAboveDirective) {
+  const auto findings = lint_fixture("nondet_random_suppressed.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintFixtures, WallClockFlagsClockReadNotIdentifierNamedTime) {
+  const auto findings = unsuppressed(lint_fixture("wall_clock_bad.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(LintFixtures, WallClockSuppressedVariantIsClean) {
+  EXPECT_TRUE(unsuppressed(lint_fixture("wall_clock_suppressed.cpp")).empty());
+}
+
+TEST(LintFixtures, UnorderedIterFlagsRangeForNotLookupOrMappedValue) {
+  const auto findings = unsuppressed(lint_fixture("unordered_iter_bad.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 12);
+}
+
+TEST(LintFixtures, UnorderedIterSuppressedVariantIsClean) {
+  const auto findings = lint_fixture("unordered_iter_suppressed.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintFixtures, PointerKeyFlagsPointerKeyedMapOnly) {
+  const auto findings = unsuppressed(lint_fixture("pointer_key_bad.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "pointer-key");
+  EXPECT_EQ(findings[0].line, 8);
+}
+
+TEST(LintFixtures, PointerKeySuppressedVariantIsClean) {
+  EXPECT_TRUE(unsuppressed(lint_fixture("pointer_key_suppressed.cpp")).empty());
+}
+
+TEST(LintFixtures, NakedNewFlagsNewAndDeleteNotDeletedFunctions) {
+  const auto findings = unsuppressed(lint_fixture("naked_new_bad.cpp"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "naked-new");
+  EXPECT_EQ(findings[0].line, 11);
+  EXPECT_EQ(findings[1].line, 12);
+}
+
+TEST(LintFixtures, NakedNewSuppressedVariantIsClean) {
+  const auto findings = lint_fixture("naked_new_suppressed.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const auto& f : findings) EXPECT_TRUE(f.suppressed);
+}
+
+TEST(LintFixtures, CatchAllFlagsSwallowingHandlerOnly) {
+  const auto findings = unsuppressed(lint_fixture("catch_all_bad.cpp"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "catch-all");
+  EXPECT_EQ(findings[0].line, 10);
+}
+
+TEST(LintFixtures, CatchAllSuppressedVariantIsClean) {
+  EXPECT_TRUE(unsuppressed(lint_fixture("catch_all_suppressed.cpp")).empty());
+}
+
+TEST(LintFixtures, MalformedDirectivesDoNotSuppressAndAreReported) {
+  const auto findings = unsuppressed(lint_fixture("malformed_directive.cpp"));
+  // Two live assert findings plus two lint-directive findings (missing
+  // reason; unknown rule name).
+  ASSERT_EQ(findings.size(), 4u);
+  const auto count = [&findings](const std::string& rule) {
+    return std::count_if(findings.begin(), findings.end(),
+                         [&rule](const Finding& f) { return f.rule == rule; });
+  };
+  EXPECT_EQ(count("assert"), 2);
+  EXPECT_EQ(count("lint-directive"), 2);
+}
+
+TEST(LintEngine, CommentsAndStringsAreNotCode) {
+  const std::string source =
+      "// assert(1) in a line comment\n"
+      "/* std::uniform_int_distribution in a block comment */\n"
+      "const char* s = \"delete everything\";\n"
+      "const char* r = R\"(catch (...) { })\";\n";
+  EXPECT_TRUE(unsuppressed(lint_source("mem.cpp", source)).empty());
+}
+
+TEST(LintEngine, OnlyRulesRestrictsChecking) {
+  const std::string source = "void f() { assert(1); int* p = new int; delete p; }\n";
+  Options only_assert;
+  only_assert.only_rules = {"assert"};
+  const auto findings = unsuppressed(lint_source("mem.cpp", source, only_assert));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "assert");
+}
+
+TEST(LintEngine, UsingAliasOfUnorderedContainerIsTracked) {
+  const std::string source =
+      "using NodeSet = std::unordered_set<int>;\n"
+      "int f(const NodeSet& live) {\n"
+      "  int sum = 0;\n"
+      "  for (int v : live) sum += v;\n"
+      "  return sum;\n"
+      "}\n";
+  const auto findings = unsuppressed(lint_source("mem.cpp", source));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintEngine, CollectSourcesIsSortedAndFiltered) {
+  const auto sources = collect_sources(std::string(FPR_LINT_FIXTURES));
+  ASSERT_FALSE(sources.empty());
+  EXPECT_TRUE(std::is_sorted(sources.begin(), sources.end()));
+  for (const auto& path : sources) {
+    EXPECT_NE(path.find(".cpp"), std::string::npos) << path;
+  }
+}
+
+// The gate itself: the real tree must be clean. Any new violation in src/
+// or bench/ fails this test locally before CI ever sees it.
+TEST(LintTree, SrcAndBenchHaveNoUnsuppressedFindings) {
+  for (const char* dir : {"/src", "/bench"}) {
+    const auto sources = collect_sources(std::string(FPR_SOURCE_ROOT) + dir);
+    ASSERT_FALSE(sources.empty()) << dir;
+    for (const auto& path : sources) {
+      std::vector<Finding> findings;
+      ASSERT_TRUE(lint_file(path, Options{}, findings)) << path;
+      for (const auto& f : findings) {
+        EXPECT_TRUE(f.suppressed) << f.file << ":" << f.line << " [" << f.rule << "] "
+                                  << f.message;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpr::lint

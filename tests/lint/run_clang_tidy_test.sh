@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Exercises tools/lint/run_clang_tidy's gating logic without a real
+# clang-tidy: a stub binary emits one canned finding, and the wrapper's
+# skip / unseeded / clean / new-finding / update-baseline paths are checked
+# against it. Registered as a ctest with label `lint`.
+set -u
+
+ROOT="${1:?usage: run_clang_tidy_test.sh <repo-root>}"
+WRAPPER="$ROOT/tools/lint/run_clang_tidy"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# A stub clang-tidy: answers --version, and for a file argument prints one
+# finding in clang-tidy's output format against that file.
+STUB="$WORK/clang-tidy-stub"
+cat > "$STUB" <<'EOF'
+#!/usr/bin/env bash
+if [ "${1:-}" = "--version" ]; then
+  echo "stub clang-tidy version 0.0"
+  exit 0
+fi
+# last argument is the file under analysis
+for last; do :; done
+echo "$last:10:5: warning: stub finding [bugprone-stub-check]"
+EOF
+chmod +x "$STUB"
+
+# Minimal build tree: one compile_commands.json entry for a real project
+# file (content only matters for cache hashing).
+BUILD="$WORK/build"
+mkdir -p "$BUILD"
+TARGET="$ROOT/src/core/contract.hpp"
+[ -f "$TARGET" ] || fail "expected $TARGET to exist"
+cat > "$BUILD/compile_commands.json" <<EOF
+[{"directory": "$BUILD", "command": "c++ -c $TARGET", "file": "$TARGET"}]
+EOF
+
+BASELINE="$WORK/baseline.txt"
+run() { # run <expected-exit> <args...>
+  local expect="$1"
+  shift
+  OUTPUT="$(FPR_TIDY_BASELINE="$BASELINE" CLANG_TIDY="${STUB_OVERRIDE:-$STUB}" \
+            python3 "$WRAPPER" --build-dir "$BUILD" "$@" 2>&1)"
+  local got=$?
+  if [ "$got" != "$expect" ]; then
+    echo "$OUTPUT" >&2
+    fail "expected exit $expect, got $got (args: $*)"
+  fi
+}
+
+# 1. Tool missing: skip cleanly; --require turns that into a hard failure.
+STUB_OVERRIDE="$WORK/no-such-tool" run 0
+echo "$OUTPUT" | grep -q "SKIPPED" || fail "missing tool should print SKIPPED"
+STUB_OVERRIDE="$WORK/no-such-tool" run 3 --require
+
+# 2. UNSEEDED baseline: report findings, do not gate.
+echo "UNSEEDED" > "$BASELINE"
+run 0
+echo "$OUTPUT" | grep -q "UNSEEDED" || fail "unseeded baseline should be reported"
+echo "$OUTPUT" | grep -q "src/core/contract.hpp:bugprone-stub-check" \
+  || fail "unseeded run should list the stub finding"
+
+# 3. Seeded-empty baseline: the stub finding is NEW, gate fails.
+: > "$BASELINE"
+rm -rf "$BUILD/tidy-cache"
+run 1
+echo "$OUTPUT" | grep -q "NEW findings" || fail "new finding should be reported"
+
+# 4. --update-baseline captures it (to the redirected path only).
+rm -rf "$BUILD/tidy-cache"
+run 0 --update-baseline
+grep -q "src/core/contract.hpp:bugprone-stub-check" "$BASELINE" \
+  || fail "update-baseline should record the finding"
+
+# 5. With the finding baselined the gate is clean — and served from cache
+#    (the cache survives from the previous run; the stub would also answer).
+run 0
+echo "$OUTPUT" | grep -q "clean" || fail "baselined finding should pass the gate"
+
+echo "PASS: run_clang_tidy wrapper logic"

@@ -1,0 +1,119 @@
+// fpr-lint CLI — see tools/lint/lint.hpp for the rule catalog and
+// suppression syntax, DESIGN.md §10 for the rationale.
+//
+// Usage:
+//   fpr-lint [options] <path>...
+//
+//   <path>            file or directory (directories are walked recursively
+//                     for .cpp/.hpp/.h/.cc, sorted)
+//   --rule <name>     check only this rule (repeatable)
+//   --list-rules      print the rule catalog and exit
+//   --show-suppressed also print findings covered by an inline allow()
+//   --report <file>   additionally write the findings to <file>
+//
+// Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: fpr-lint [--rule <name>]... [--list-rules] [--show-suppressed]\n"
+         "                [--report <file>] <path>...\n";
+  return code;
+}
+
+void print_finding(std::ostream& out, const fpr::lint::Finding& f) {
+  out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  if (f.suppressed) out << " (suppressed: " << f.suppress_reason << ")";
+  out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fpr::lint::Options options;
+  std::vector<std::string> paths;
+  std::string report_path;
+  bool show_suppressed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rule") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      const std::string rule = argv[i];
+      if (!fpr::lint::is_known_rule(rule)) {
+        std::cerr << "fpr-lint: unknown rule '" << rule << "' (see --list-rules)\n";
+        return 2;
+      }
+      options.only_rules.push_back(rule);
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : fpr::lint::rule_catalog()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--report") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      report_path = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fpr-lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(std::cerr, 2);
+
+  std::vector<fpr::lint::Finding> findings;
+  std::size_t files = 0;
+  bool io_error = false;
+  for (const std::string& path : paths) {
+    const std::vector<std::string> sources = fpr::lint::collect_sources(path);
+    if (sources.empty()) {
+      std::cerr << "fpr-lint: no sources under '" << path << "'\n";
+      io_error = true;
+      continue;
+    }
+    for (const std::string& file : sources) {
+      if (!fpr::lint::lint_file(file, options, findings)) io_error = true;
+      ++files;
+    }
+  }
+
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const auto& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (show_suppressed) print_finding(std::cout, f);
+    } else {
+      ++unsuppressed;
+      print_finding(std::cout, f);
+    }
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "fpr-lint: cannot write report to '" << report_path << "'\n";
+      io_error = true;
+    } else {
+      for (const auto& f : findings) print_finding(report, f);
+      report << "# " << files << " files, " << unsuppressed << " findings, " << suppressed
+             << " suppressed\n";
+    }
+  }
+
+  std::cerr << "fpr-lint: " << files << " files, " << unsuppressed << " findings, "
+            << suppressed << " suppressed exceptions\n";
+  if (io_error) return 2;
+  return unsuppressed == 0 ? 0 : 1;
+}

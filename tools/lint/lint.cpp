@@ -1,0 +1,698 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fpr::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pass 1: strip comments and literals, extract suppression directives.
+//
+// Rules match against code only — a mention of assert() in a comment or a
+// "steady_clock" inside a string literal is not a finding. Suppression
+// directives live in the comments we strip, so both views of every line are
+// kept side by side.
+// ---------------------------------------------------------------------------
+
+struct Line {
+  std::string code;     // comments and literal contents blanked out
+  std::string comment;  // concatenated comment text on this line
+  bool code_blank = true;  // code is whitespace-only
+};
+
+std::vector<Line> split_and_strip(const std::string& content) {
+  std::vector<Line> lines(1);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  bool escaped = false;
+
+  const auto current = [&lines]() -> Line& { return lines.back(); };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated string/char at end of line: malformed or macro trick;
+      // reset so one bad line cannot blank the rest of the file.
+      if (state == State::kString || state == State::kChar) state = State::kCode;
+      lines.emplace_back();
+      escaped = false;
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string literal: find the delimiter up to the '('.
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < content.size() && content[j] != '(') raw_delim += content[j++];
+          state = State::kRawString;
+          current().code += "\"\"";
+          i = j;  // consume through '('
+        } else if (c == '"') {
+          state = State::kString;
+          current().code += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          current().code += '\'';
+        } else {
+          current().code += c;
+          if (!std::isspace(static_cast<unsigned char>(c))) current().code_blank = false;
+        }
+        break;
+      case State::kLineComment:
+        current().comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          current().comment += c;
+        }
+        break;
+      case State::kString:
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if (c == '"') {
+          state = State::kCode;
+          current().code += '"';
+        }
+        break;
+      case State::kChar:
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if (c == '\'') {
+          state = State::kCode;
+          current().code += '\'';
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (content.compare(i, closer.size(), closer) == 0) {
+          state = State::kCode;
+          i += closer.size() - 1;
+        }
+        break;
+      }
+    }
+  }
+  // code_blank is only updated in kCode; recompute defensively.
+  for (auto& line : lines) {
+    line.code_blank = std::all_of(line.code.begin(), line.code.end(), [](unsigned char ch) {
+      return std::isspace(ch) != 0;
+    });
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Small token helpers (hand-rolled; no <regex> — it is slow and its
+// behavior varies across standard libraries, which would be ironic here).
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Finds whole-identifier occurrences of `word` in `code` starting at
+/// `from`; returns npos when absent.
+std::size_t find_word(const std::string& code, const std::string& word, std::size_t from = 0) {
+  std::size_t pos = code.find(word, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos = code.find(word, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool contains_word(const std::string& code, const std::string& word) {
+  return find_word(code, word) != std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+  return pos;
+}
+
+/// Reads the identifier starting at `pos` (empty when none).
+std::string read_ident(const std::string& s, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < s.size() && ident_char(s[end])) ++end;
+  if (end == pos || std::isdigit(static_cast<unsigned char>(s[pos]))) return {};
+  return s.substr(pos, end - pos);
+}
+
+/// First identifier token in `expr` after stripping leading `*`, `&`, `(`.
+std::string base_identifier(const std::string& expr) {
+  std::size_t pos = 0;
+  while (pos < expr.size() &&
+         (std::isspace(static_cast<unsigned char>(expr[pos])) || expr[pos] == '*' ||
+          expr[pos] == '&' || expr[pos] == '(')) {
+    ++pos;
+  }
+  return read_ident(expr, pos);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives.
+// ---------------------------------------------------------------------------
+
+struct Directive {
+  std::string rule;
+  std::string reason;  // empty = malformed (does not suppress)
+};
+
+std::vector<Directive> parse_directives(const std::string& comment) {
+  std::vector<Directive> out;
+  const std::string key = "fpr-lint:";
+  std::size_t pos = comment.find(key);
+  while (pos != std::string::npos) {
+    std::size_t p = skip_spaces(comment, pos + key.size());
+    if (comment.compare(p, 6, "allow(") == 0) {
+      p += 6;
+      const std::size_t close = comment.find(')', p);
+      if (close != std::string::npos) {
+        Directive d;
+        d.rule = comment.substr(p, close - p);
+        std::size_t r = skip_spaces(comment, close + 1);
+        d.reason = comment.substr(r);
+        while (!d.reason.empty() &&
+               std::isspace(static_cast<unsigned char>(d.reason.back()))) {
+          d.reason.pop_back();
+        }
+        out.push_back(std::move(d));
+      }
+    }
+    pos = comment.find(key, pos + key.size());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  const std::string& filename;
+  const std::vector<Line>& lines;
+  std::string all_code;                 // stripped code joined by '\n'
+  std::vector<std::size_t> line_start;  // offset of each line in all_code
+};
+
+int line_of_offset(const FileContext& ctx, std::size_t offset) {
+  auto it = std::upper_bound(ctx.line_start.begin(), ctx.line_start.end(), offset);
+  return static_cast<int>(it - ctx.line_start.begin());  // 1-based
+}
+
+using RuleFn = void (*)(const FileContext&, std::vector<Finding>&);
+
+void add(std::vector<Finding>& out, const FileContext& ctx, int line, const char* rule,
+         std::string message) {
+  out.push_back(Finding{ctx.filename, line, rule, std::move(message), false, {}});
+}
+
+/// rule: assert — the condition compiles out of NDEBUG builds and aborts
+/// without context; production invariants use FPR_CHECK.
+void rule_assert(const FileContext& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    std::size_t pos = 0;
+    while ((pos = find_word(code, "assert", pos)) != std::string::npos) {
+      const std::size_t after = skip_spaces(code, pos + 6);
+      const bool is_call = after < code.size() && code[after] == '(';
+      const bool is_static = pos >= 7 && code.compare(pos - 7, 7, "static_") == 0;
+      // find_word rejects "static_assert" via left ident char; keep the
+      // check for clarity if tokenization ever changes.
+      if (is_call && !is_static) {
+        add(out, ctx, static_cast<int>(i + 1), "assert",
+            "assert() compiles out of Release builds and aborts without context; use "
+            "FPR_CHECK(cond, msg) from core/contract.hpp");
+      }
+      pos += 6;
+    }
+  }
+}
+
+/// rule: nondet-random — std::*_distribution output is implementation-
+/// defined (differs across libstdc++/libc++/MSVC); random_device/rand seed
+/// from the environment. Either breaks cross-platform replay.
+void rule_nondet_random(const FileContext& ctx, std::vector<Finding>& out) {
+  static const char* kBanned[] = {
+      "uniform_int_distribution", "uniform_real_distribution", "normal_distribution",
+      "bernoulli_distribution",   "discrete_distribution",     "poisson_distribution",
+      "exponential_distribution", "random_device",             "rand",
+      "srand",
+  };
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    for (const char* word : kBanned) {
+      std::size_t pos = find_word(code, word);
+      if (pos == std::string::npos) continue;
+      // rand/srand only as calls, so e.g. a member named `rand` in a struct
+      // declaration does not trip the rule.
+      if (word[0] == 'r' || word[0] == 's') {
+        const std::size_t after = skip_spaces(code, pos + std::string(word).size());
+        if (after >= code.size() || code[after] != '(') continue;
+      }
+      add(out, ctx, static_cast<int>(i + 1), "nondet-random",
+          std::string(word) +
+              " is implementation-defined or environment-seeded; draw through core/rng.hpp "
+              "(mix64/SplitMixRng/draw_below/draw_range/draw_unit/draw_gaussian)");
+    }
+  }
+}
+
+/// rule: wall-clock — results must never depend on the clock. Work budgets
+/// (graph/budget.hpp) are the deterministic replacement for timeouts.
+void rule_wall_clock(const FileContext& ctx, std::vector<Finding>& out) {
+  static const char* kClockTypes[] = {"system_clock", "steady_clock", "high_resolution_clock"};
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    for (const char* word : kClockTypes) {
+      if (contains_word(code, word)) {
+        add(out, ctx, static_cast<int>(i + 1), "wall-clock",
+            std::string(word) +
+                ": deterministic code must not read clocks; use WorkBudget "
+                "(graph/budget.hpp) for bounded effort, bench::Stopwatch for bench timing");
+      }
+    }
+    for (const char* fn : {"gettimeofday", "clock_gettime"}) {
+      if (contains_word(code, fn)) {
+        add(out, ctx, static_cast<int>(i + 1), "wall-clock",
+            std::string(fn) + ": deterministic code must not read clocks");
+      }
+    }
+    // std::time(...) / time(nullptr): the C clock read.
+    std::size_t pos = 0;
+    while ((pos = find_word(code, "time", pos)) != std::string::npos) {
+      const bool qualified = pos >= 5 && code.compare(pos - 5, 5, "std::") == 0;
+      const std::size_t after = skip_spaces(code, pos + 4);
+      const bool call = after < code.size() && code[after] == '(';
+      if (call) {
+        const std::size_t arg = skip_spaces(code, after + 1);
+        const bool clock_read = qualified || code.compare(arg, 7, "nullptr") == 0 ||
+                                code.compare(arg, 4, "NULL") == 0;
+        if (clock_read) {
+          add(out, ctx, static_cast<int>(i + 1), "wall-clock",
+              "std::time() reads the wall clock; deterministic code derives timestamps from "
+              "seeds or takes them as input");
+        }
+      }
+      pos += 4;
+    }
+  }
+}
+
+/// rule: unordered-iter — iteration order of std::unordered_{map,set} is
+/// unspecified and varies across standard libraries and across runs with
+/// different allocation histories. Any loop over one is flagged; loops
+/// whose effect is provably order-independent carry an inline allow() that
+/// says why.
+void rule_unordered_iter(const FileContext& ctx, std::vector<Finding>& out) {
+  // Pass A: names. Aliases first (`using X = std::unordered_map<...>`),
+  // then declared variables/members/parameters of unordered (or alias)
+  // type.
+  std::vector<std::string> unordered_types = {"std::unordered_map", "std::unordered_set"};
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const std::size_t using_pos = find_word(code, "using", 0);
+    if (using_pos == std::string::npos) continue;
+    const std::size_t eq = code.find('=', using_pos);
+    if (eq == std::string::npos) continue;
+    if (code.find("unordered_map", eq) == std::string::npos &&
+        code.find("unordered_set", eq) == std::string::npos) {
+      continue;
+    }
+    const std::string alias = read_ident(code, skip_spaces(code, using_pos + 5));
+    if (!alias.empty()) unordered_types.push_back(alias);
+  }
+
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    for (const std::string& type : unordered_types) {
+      std::size_t pos = find_word(code, type.substr(type.rfind(':') + 1));
+      if (pos == std::string::npos) continue;
+      if (type[0] != 's') {
+        // Alias: require the token itself (no template args expected).
+        pos = find_word(code, type);
+        if (pos == std::string::npos) continue;
+      }
+      // Walk past the template argument list, if any (single-line only; a
+      // multi-line declaration's name lands on a later line and is missed —
+      // acceptable for a lexical tool, the iteration itself is still in
+      // scope via the member/param name when declared on one line).
+      std::size_t p = pos + read_ident(code, pos).size();
+      p = skip_spaces(code, p);
+      if (p < code.size() && code[p] == '<') {
+        int depth = 0;
+        while (p < code.size()) {
+          if (code[p] == '<') ++depth;
+          if (code[p] == '>' && --depth == 0) {
+            ++p;
+            break;
+          }
+          ++p;
+        }
+        if (depth != 0) continue;  // spans lines; give up on this decl
+      }
+      p = skip_spaces(code, p);
+      while (p < code.size() && (code[p] == '&' || code[p] == '*')) p = skip_spaces(code, p + 1);
+      const std::string name = read_ident(code, p);
+      if (!name.empty() && name != "const") names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  if (names.empty()) return;
+
+  // Pass B: iteration. Range-for over a tracked name, or a classic for
+  // using name.begin()/cbegin().
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const std::size_t for_pos = find_word(code, "for");
+    if (for_pos == std::string::npos) continue;
+    const std::size_t open = code.find('(', for_pos);
+    if (open == std::string::npos) continue;
+    const std::size_t colon = code.find(':', open);
+    bool flagged = false;
+    if (colon != std::string::npos && code.compare(colon, 2, "::") != 0) {
+      const std::string rhs = code.substr(colon + 1);
+      const std::string base = base_identifier(rhs);
+      // `name.at(k)` / `name[k]` iterate the MAPPED value, not the
+      // unordered container itself — skip when the base is followed by
+      // member access or indexing.
+      const std::size_t base_pos = rhs.find(base);
+      const std::size_t after_base =
+          base_pos == std::string::npos ? rhs.size() : skip_spaces(rhs, base_pos + base.size());
+      const bool indexes_into =
+          after_base < rhs.size() && (rhs[after_base] == '.' || rhs[after_base] == '[');
+      if (!indexes_into && std::binary_search(names.begin(), names.end(), base)) {
+        add(out, ctx, static_cast<int>(i + 1), "unordered-iter",
+            "range-for over unordered container '" + base +
+                "': iteration order is unspecified; iterate a sorted copy or an index, or "
+                "document order-independence with an inline allow()");
+        flagged = true;
+      }
+    }
+    if (!flagged) {
+      for (const std::string& name : names) {
+        if (code.find(name + ".begin()", open) != std::string::npos ||
+            code.find(name + ".cbegin()", open) != std::string::npos) {
+          add(out, ctx, static_cast<int>(i + 1), "unordered-iter",
+              "iterator loop over unordered container '" + name +
+                  "': iteration order is unspecified");
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// rule: pointer-key — ordered containers keyed on pointers order by
+/// address, which varies run to run (ASLR, allocator history), leaking
+/// nondeterminism into anything that iterates them.
+void rule_pointer_key(const FileContext& ctx, std::vector<Finding>& out) {
+  static const char* kOrdered[] = {"map", "set", "multimap", "multiset"};
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    for (const char* container : kOrdered) {
+      const std::string token = std::string("std::") + container;
+      std::size_t pos = code.find(token + "<");
+      while (pos != std::string::npos) {
+        if (pos == 0 || !ident_char(code[pos - 1])) {
+          // First template argument, up to a top-level ',' or '>'.
+          std::size_t p = pos + token.size() + 1;
+          int depth = 0;
+          std::string first_arg;
+          while (p < code.size()) {
+            const char c = code[p];
+            if (c == '<') ++depth;
+            if (c == '>') {
+              if (depth == 0) break;
+              --depth;
+            }
+            if (c == ',' && depth == 0) break;
+            first_arg += c;
+            ++p;
+          }
+          if (!first_arg.empty() && first_arg.find('*') != std::string::npos) {
+            add(out, ctx, static_cast<int>(i + 1), "pointer-key",
+                token + " keyed on a pointer orders by address — nondeterministic across "
+                        "runs; key on a stable id instead");
+          }
+        }
+        pos = code.find(token + "<", pos + 1);
+      }
+    }
+    if (code.find("std::less<") != std::string::npos) {
+      const std::size_t p = code.find("std::less<") + 10;
+      std::size_t close = p;
+      int depth = 1;
+      while (close < code.size() && depth > 0) {
+        if (code[close] == '<') ++depth;
+        if (code[close] == '>') --depth;
+        ++close;
+      }
+      if (code.substr(p, close - p).find('*') != std::string::npos) {
+        add(out, ctx, static_cast<int>(i + 1), "pointer-key",
+            "std::less over a pointer type orders by address — nondeterministic across runs");
+      }
+    }
+  }
+}
+
+/// rule: naked-new — manual new/delete bypasses RAII; the repo's containers
+/// and unique_ptr/make_unique cover every ownership pattern in use.
+void rule_naked_new(const FileContext& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    std::size_t pos = 0;
+    while ((pos = find_word(code, "new", pos)) != std::string::npos) {
+      add(out, ctx, static_cast<int>(i + 1), "naked-new",
+          "naked new-expression; use make_unique/make_shared or a container");
+      pos += 3;
+    }
+    pos = 0;
+    while ((pos = find_word(code, "delete", pos)) != std::string::npos) {
+      // `= delete;` (deleted special member) and `= delete (` are fine.
+      std::size_t before = pos;
+      while (before > 0 && std::isspace(static_cast<unsigned char>(code[before - 1]))) --before;
+      const bool deleted_fn = before > 0 && code[before - 1] == '=';
+      if (!deleted_fn) {
+        add(out, ctx, static_cast<int>(i + 1), "naked-new",
+            "naked delete-expression; ownership belongs in a smart pointer or container");
+      }
+      pos += 6;
+    }
+  }
+}
+
+/// rule: catch-all — `catch (...)` that neither rethrows nor captures the
+/// exception swallows ContractViolation, turning contract breaches into
+/// silent wrong answers.
+void rule_catch_all(const FileContext& ctx, std::vector<Finding>& out) {
+  const std::string& text = ctx.all_code;
+  std::size_t pos = 0;
+  while ((pos = find_word(text, "catch", pos)) != std::string::npos) {
+    std::size_t p = skip_spaces(text, pos + 5);
+    pos += 5;
+    if (p >= text.size() || text[p] != '(') continue;
+    p = skip_spaces(text, p + 1);
+    if (text.compare(p, 3, "...") != 0) continue;
+    p = skip_spaces(text, p + 3);
+    if (p >= text.size() || text[p] != ')') continue;
+    // Balanced-brace scan of the handler body.
+    std::size_t open = text.find('{', p);
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    std::size_t end = open;
+    while (end < text.size()) {
+      if (text[end] == '{') ++depth;
+      if (text[end] == '}' && --depth == 0) break;
+      ++end;
+    }
+    const std::string body = text.substr(open, end - open);
+    const bool rethrows = body.find("throw;") != std::string::npos ||
+                          contains_word(body, "rethrow_exception");
+    const bool captures = contains_word(body, "current_exception");
+    if (!rethrows && !captures) {
+      add(out, ctx, line_of_offset(ctx, pos - 5), "catch-all",
+          "catch (...) that neither rethrows nor captures current_exception swallows "
+          "ContractViolation; catch specific types or rethrow");
+    }
+  }
+}
+
+const std::vector<std::pair<const char*, RuleFn>>& rule_table() {
+  static const std::vector<std::pair<const char*, RuleFn>> table = {
+      {"assert", rule_assert},
+      {"nondet-random", rule_nondet_random},
+      {"wall-clock", rule_wall_clock},
+      {"unordered-iter", rule_unordered_iter},
+      {"pointer-key", rule_pointer_key},
+      {"naked-new", rule_naked_new},
+      {"catch-all", rule_catch_all},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"assert", "assert() outside tests; use FPR_CHECK (always-on, throws with context)"},
+      {"nondet-random",
+       "std::*_distribution / random_device / rand: implementation-defined or "
+       "environment-seeded randomness; use core/rng.hpp"},
+      {"wall-clock",
+       "clock reads (chrono clocks, std::time, gettimeofday) in deterministic code; results "
+       "must never depend on the clock"},
+      {"unordered-iter",
+       "iteration over std::unordered_{map,set}: order is unspecified and leaks into any "
+       "ordered output or non-commutative accumulation"},
+      {"pointer-key", "ordered container or comparator keyed on a pointer (address order "
+                      "varies across runs)"},
+      {"naked-new", "naked new/delete; use make_unique/make_shared or a container"},
+      {"catch-all", "catch (...) that swallows exceptions (including ContractViolation)"},
+  };
+  return catalog;
+}
+
+bool is_known_rule(const std::string& name) {
+  const auto& catalog = rule_catalog();
+  return std::any_of(catalog.begin(), catalog.end(),
+                     [&name](const RuleInfo& r) { return r.name == name; });
+}
+
+std::vector<Finding> lint_source(const std::string& filename, const std::string& content,
+                                 const Options& options) {
+  const std::vector<Line> lines = split_and_strip(content);
+
+  FileContext ctx{filename, lines, {}, {}};
+  ctx.line_start.reserve(lines.size());
+  for (const Line& line : lines) {
+    ctx.line_start.push_back(ctx.all_code.size());
+    ctx.all_code += line.code;
+    ctx.all_code += '\n';
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [name, fn] : rule_table()) {
+    if (!options.only_rules.empty() &&
+        std::find(options.only_rules.begin(), options.only_rules.end(), name) ==
+            options.only_rules.end()) {
+      continue;
+    }
+    fn(ctx, findings);
+  }
+
+  // Suppressions: a directive covers findings on its own line; a directive
+  // on a comment-only line covers the next line that has code.
+  struct Active {
+    Directive directive;
+    int line;  // the line findings must be on to be covered
+  };
+  std::vector<Active> active;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (Directive& d : parse_directives(lines[i].comment)) {
+      int target = static_cast<int>(i + 1);
+      if (lines[i].code_blank) {
+        std::size_t j = i + 1;
+        while (j < lines.size() && lines[j].code_blank) ++j;
+        target = static_cast<int>(j + 1);
+      }
+      if (d.reason.empty()) {
+        findings.push_back(Finding{filename, static_cast<int>(i + 1), "lint-directive",
+                                   "allow(" + d.rule +
+                                       ") without a reason does not suppress; document why "
+                                       "the exception is safe",
+                                   false,
+                                   {}});
+        continue;
+      }
+      if (!is_known_rule(d.rule)) {
+        findings.push_back(Finding{filename, static_cast<int>(i + 1), "lint-directive",
+                                   "allow(" + d.rule + ") names an unknown rule", false, {}});
+        continue;
+      }
+      active.push_back(Active{std::move(d), target});
+    }
+  }
+  for (Finding& f : findings) {
+    for (const Active& a : active) {
+      if (a.directive.rule == f.rule && a.line == f.line) {
+        f.suppressed = true;
+        f.suppress_reason = a.directive.reason;
+        break;
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+bool lint_file(const std::string& path, const Options& options, std::vector<Finding>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.push_back(Finding{path, 0, "io-error", "cannot read file", false, {}});
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<Finding> findings = lint_source(path, buffer.str(), options);
+  out.insert(out.end(), std::make_move_iterator(findings.begin()),
+             std::make_move_iterator(findings.end()));
+  return true;
+}
+
+std::vector<std::string> collect_sources(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) {
+    files.push_back(path);
+    return files;
+  }
+  const auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+  };
+  for (fs::recursive_directory_iterator it(path, ec), end; it != end && !ec;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec) && is_source(it->path())) {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace fpr::lint

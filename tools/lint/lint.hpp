@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// fpr-lint — project-invariant static analysis for the FPGA-routing repo.
+///
+/// The repo's load-bearing contracts (DESIGN.md §10) are not general C++
+/// style rules, so no off-the-shelf linter checks them: results must be
+/// bit-identical across platforms, standard libraries, thread counts and
+/// runs, and misuse must throw ContractViolation instead of aborting or
+/// being swallowed. fpr-lint walks `src/` and `bench/` and enforces those
+/// invariants as named rules (rule_catalog()). Findings are suppressible
+/// only inline, at the offending site:
+///
+///     // fpr-lint: allow(<rule>) <reason>
+///
+/// on the same line as the finding or on a comment-only line directly above
+/// it. The reason is mandatory — a suppression without one does not
+/// suppress and is itself reported — so every sanctioned exception is
+/// documented where it lives, greppable, and reviewed with the code around
+/// it.
+///
+/// Deliberately dependency-free (no clang tooling, no regex engine beyond
+/// hand-rolled scanning): it builds in milliseconds on any toolchain, which
+/// is what lets it gate every CI run and run as a ctest (`ctest -L lint`).
+/// It is a lexical tool — it strips comments and string literals, tracks
+/// declared names, and matches token patterns — not a compiler; the
+/// clang-tidy baseline job (tools/lint/run_clang_tidy) covers the
+/// semantic end of the spectrum.
+namespace fpr::lint {
+
+/// One rule violation (or documented exception, when `suppressed`).
+struct Finding {
+  std::string file;
+  int line = 0;            // 1-based
+  std::string rule;        // name from rule_catalog()
+  std::string message;     // what was matched and what to use instead
+  bool suppressed = false; // true: an inline allow(<rule>) with a reason covers it
+  std::string suppress_reason;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// Every rule fpr-lint knows, in reporting order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True iff `name` is a rule in rule_catalog().
+bool is_known_rule(const std::string& name);
+
+struct Options {
+  /// Restrict checking to these rules (empty = all). Unknown names are the
+  /// caller's error — the CLI validates against rule_catalog() first.
+  std::vector<std::string> only_rules;
+};
+
+/// Lints one translation unit given its text. `filename` is used for
+/// reporting only; nothing is read from disk. Returns findings in line
+/// order, suppressed ones included (callers filter on `suppressed`).
+std::vector<Finding> lint_source(const std::string& filename, const std::string& content,
+                                 const Options& options = {});
+
+/// Reads and lints one file from disk. Returns false (and appends a
+/// pseudo-finding on line 0) when the file cannot be read.
+bool lint_file(const std::string& path, const Options& options, std::vector<Finding>& out);
+
+/// Recursively collects the C++ sources (.cpp/.hpp/.h/.cc) under `path`
+/// (or `path` itself when it is a file), sorted for deterministic reports.
+std::vector<std::string> collect_sources(const std::string& path);
+
+}  // namespace fpr::lint
