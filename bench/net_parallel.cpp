@@ -1,0 +1,171 @@
+// Net-parallel router bench: wall-clock of route_circuit at worker counts
+// 1/2/4/8 over spread-out synthetic circuits and the smallest Table 2/3
+// profiles, with the determinism contract re-checked on every cell (the
+// parallel result must match the serial reference field-for-field) and the
+// wave scheduler's acceptance ratio reported — the accepted/speculated
+// fraction is the mechanism's quality measure, independent of how many
+// cores the host happens to have.
+//
+// Writes a machine-readable record (default BENCH_parallel_router.json,
+// override with --json <path>).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/metrics.hpp"
+#include "netlist/profiles.hpp"
+#include "netlist/synth.hpp"
+#include "router/router.hpp"
+
+namespace {
+
+using namespace fpr;
+
+struct BenchCase {
+  std::string name;
+  ArchSpec arch;
+  Circuit circuit;
+};
+
+Circuit quadrant_circuit(int n) {
+  Circuit c;
+  c.name = "quadrants";
+  c.rows = c.cols = 2 * n;
+  for (int q = 0; q < 4; ++q) {
+    const int bx = (q % 2) * n;
+    const int by = (q / 2) * n;
+    for (int i = 0; i + 1 < n; ++i) {
+      c.nets.push_back({{bx + i, by + i}, {{bx + i + 1, by + i}, {bx + i, by + i + 1}}});
+      c.nets.push_back({{bx + n - 1 - i, by + i}, {{bx + n - 1 - i, by + i + 1}}});
+    }
+  }
+  return c;
+}
+
+std::vector<BenchCase> bench_cases() {
+  std::vector<BenchCase> cases;
+  cases.push_back({"quadrants-16x16", ArchSpec::xc4000(16, 16, 5), quadrant_circuit(8)});
+  {
+    const CircuitProfile& busc = xc3000_profiles()[0];  // smallest Table 2
+    cases.push_back({"busc-w" + std::to_string(busc.paper_ikmb),
+                     ArchSpec::xc3000(busc.rows, busc.cols, busc.paper_ikmb),
+                     synthesize_circuit(busc, 31)});
+  }
+  {
+    const CircuitProfile& term1 = xc4000_profiles()[2];  // smallest Table 3
+    cases.push_back({"term1-w" + std::to_string(term1.paper_ikmb),
+                     ArchSpec::xc4000(term1.rows, term1.cols, term1.paper_ikmb),
+                     synthesize_circuit(term1, 7)});
+  }
+  if (bench::full_mode()) {
+    const CircuitProfile& k2 = xc4000_profiles()[5];  // largest Table 3
+    cases.push_back({"k2-w" + std::to_string(k2.paper_ikmb),
+                     ArchSpec::xc4000(k2.rows, k2.cols, k2.paper_ikmb),
+                     synthesize_circuit(k2, 13)});
+  }
+  return cases;
+}
+
+bool identical(const RoutingResult& a, const RoutingResult& b) {
+  if (a.success != b.success || a.passes != b.passes || a.failed_nets != b.failed_nets ||
+      a.work_used != b.work_used || a.total_wirelength != b.total_wirelength ||
+      a.net_order != b.net_order || a.nets.size() != b.nets.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    if (a.nets[i].status != b.nets[i].status || a.nets[i].edges != b.nets[i].edges ||
+        a.nets[i].wirelength != b.nets[i].wirelength) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Cell {
+  int threads = 0;
+  double seconds = 0;
+  bool matches_serial = false;
+  long long waves = 0;
+  long long speculated = 0;
+  long long accepted = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = bench::json_output_path(argc, argv);
+  bench::banner("Net-parallel router: wall-clock and determinism vs worker count");
+  bench::report_threads();
+  std::printf("(speedup needs real cores; acceptance ratio is meaningful on any host)\n\n");
+
+  bench::Json rows = bench::Json::array();
+  for (const BenchCase& bc : bench_cases()) {
+    RouterOptions options;
+    options.max_passes = 6;
+    std::printf("%-18s %4d nets:\n", bc.name.c_str(), static_cast<int>(bc.circuit.nets.size()));
+
+    RoutingResult serial;
+    std::vector<Cell> cells;
+    for (const int threads : {1, 2, 4, 8}) {
+      options.threads = threads;
+      counters().reset();
+      Device device(bc.arch);
+      const bench::Stopwatch watch;
+      const RoutingResult r = route_circuit(device, bc.circuit, options);
+      Cell cell;
+      cell.threads = threads;
+      cell.seconds = watch.seconds();
+      cell.waves = static_cast<long long>(counters().parallel_waves.load());
+      cell.speculated = static_cast<long long>(counters().nets_speculated.load());
+      cell.accepted = static_cast<long long>(counters().nets_spec_accepted.load());
+      if (threads == 1) serial = r;
+      cell.matches_serial = threads == 1 || identical(serial, r);
+      std::printf("  threads=%d  %7.3fs  success=%d  waves=%lld  accepted=%lld/%lld  %s\n",
+                  threads, cell.seconds, r.success ? 1 : 0, cell.waves, cell.accepted,
+                  cell.speculated, cell.matches_serial ? "identical" : "MISMATCH");
+      if (!cell.matches_serial) {
+        std::fprintf(stderr, "FATAL: %s threads=%d diverged from the serial reference\n",
+                     bc.name.c_str(), threads);
+        return 1;
+      }
+      cells.push_back(cell);
+    }
+
+    bench::Json row = bench::Json::object();
+    row.field("case", bc.name);
+    row.field("nets", static_cast<int>(bc.circuit.nets.size()));
+    row.field("success", serial.success);
+    row.field("passes", serial.passes);
+    bench::Json cell_rows = bench::Json::array();
+    for (const Cell& c : cells) {
+      bench::Json jc = bench::Json::object();
+      jc.field("threads", c.threads);
+      jc.field("seconds", c.seconds);
+      jc.field("identical_to_serial", c.matches_serial);
+      jc.field("waves", c.waves);
+      jc.field("speculated", c.speculated);
+      jc.field("accepted", c.accepted);
+      cell_rows.element(jc);
+    }
+    row.field("cells", cell_rows);
+    rows.element(row);
+  }
+
+  if (json_path != nullptr) {
+    bench::Json doc = bench::Json::object();
+    doc.field("bench", "net_parallel_router");
+    doc.field("timestamp", bench::iso_timestamp());
+    doc.field("host_threads", default_thread_count());
+    doc.field("full_mode", bench::full_mode());
+    doc.field("rows", rows);
+    if (bench::write_json(json_path, doc)) {
+      std::printf("\nwrote %s\n", json_path);
+    } else {
+      return 1;
+    }
+  }
+  std::printf("\nAll thread counts bit-identical to the serial reference.\n");
+  return 0;
+}

@@ -166,6 +166,7 @@ RouterOptions CircuitCase::router_options() const {
   // is reported as a (valid) failure outcome, which the oracle still checks.
   o.max_passes = 8;
   o.node_budget = node_budget;
+  o.threads = threads;
   return o;
 }
 
@@ -175,6 +176,7 @@ std::string CircuitCase::describe() const {
      << " rows=" << rows << " cols=" << cols << " width=" << width << " nets=" << nets_2_3
      << "," << nets_4_10 << "," << nets_over_10 << " synth_seed=" << synth_seed
      << " algo=" << algorithm_name(algorithm) << " decompose=" << (decompose_two_pin ? 1 : 0);
+  if (threads != 1) os << " threads=" << threads;
   return os.str();
 }
 
@@ -219,10 +221,12 @@ std::optional<CircuitCase> CircuitCase::parse(const std::string& line) {
       c.faults.cluster_radius = std::stoi(value);
     } else if (key == "budget") {
       c.node_budget = std::stoll(value);
+    } else if (key == "threads") {
+      c.threads = std::stoi(value);
     }
   }
   if (c.rows < 1 || c.cols < 1 || c.width < 1) return std::nullopt;
-  if (!c.faults.valid() || c.node_budget < 0) return std::nullopt;
+  if (!c.faults.valid() || c.node_budget < 0 || c.threads < 0) return std::nullopt;
   return c;
 }
 
@@ -264,6 +268,11 @@ CircuitCase generate_circuit_case(std::uint64_t case_seed) {
   c.synth_seed = rng.below(0xffffffffull);
   c.algorithm = table1_algorithms()[rng.below(table1_algorithms().size())];
   c.decompose_two_pin = rng.below(8) == 0;
+  // A quarter of cases route through the net-parallel wave scheduler so the
+  // feasibility oracle continuously cross-checks its serial-equivalence
+  // contract. Appended last: earlier draws (and thus every pre-existing
+  // field of a given seed) are unchanged.
+  c.threads = rng.below(4) == 0 ? rng.range(2, 4) : 1;
   return c;
 }
 

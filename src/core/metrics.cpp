@@ -11,6 +11,10 @@ void Counters::reset() {
   check_violations.store(0, std::memory_order_relaxed);
   fuzz_cases.store(0, std::memory_order_relaxed);
   shrink_steps.store(0, std::memory_order_relaxed);
+  parallel_waves.store(0, std::memory_order_relaxed);
+  nets_speculated.store(0, std::memory_order_relaxed);
+  nets_spec_accepted.store(0, std::memory_order_relaxed);
+  nets_spec_recomputed.store(0, std::memory_order_relaxed);
 }
 
 Counters& counters() {

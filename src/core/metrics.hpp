@@ -30,6 +30,14 @@ struct Counters {
   std::atomic<std::uint64_t> fuzz_cases{0};       // generated fuzz cases
   std::atomic<std::uint64_t> shrink_steps{0};     // accepted shrink mutations
 
+  // Net-parallel router observability (router/partition wave scheduler,
+  // DESIGN.md §11). accepted + recomputed == speculated at quiescence;
+  // the accepted/speculated ratio is the scheduler's quality measure.
+  std::atomic<std::uint64_t> parallel_waves{0};    // speculation waves launched
+  std::atomic<std::uint64_t> nets_speculated{0};   // concurrent speculative routes
+  std::atomic<std::uint64_t> nets_spec_accepted{0};   // footprint-clean, committed as-is
+  std::atomic<std::uint64_t> nets_spec_recomputed{0}; // conflicted, rerouted serially
+
   /// Zeroes every counter.
   void reset();
 };

@@ -157,4 +157,14 @@ void run_parallel(int threads, std::size_t count,
   dedicated.parallel_for(count, body);
 }
 
+PoolLease::PoolLease(int threads) {
+  ThreadPool& shared = ThreadPool::shared();
+  if (threads <= 0 || threads == shared.size()) {
+    pool_ = &shared;
+    return;
+  }
+  owned_ = std::make_unique<ThreadPool>(threads);
+  pool_ = owned_.get();
+}
+
 }  // namespace fpr

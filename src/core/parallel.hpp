@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -73,5 +74,23 @@ class ThreadPool {
 ///   threads >= 2 -> a dedicated pool of exactly that size.
 void run_parallel(int threads, std::size_t count,
                   const std::function<void(std::size_t)>& body);
+
+/// Resolves a thread-count request to a pool once, for callers that issue
+/// MANY parallel_for batches against the same choice (the width search's
+/// speculation rounds, the net-parallel router's waves) — run_parallel
+/// would rebuild a dedicated pool per batch.
+///   threads <= 0 -> the shared pool (FPR_THREADS / hardware default);
+///   otherwise    -> the shared pool when it already has exactly `threads`
+///                   workers, else a dedicated pool owned by the lease.
+/// pool().size() == 1 means serial: parallel_for runs inline, in order.
+class PoolLease {
+ public:
+  explicit PoolLease(int threads);
+  ThreadPool& pool() const { return *pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_;
+};
 
 }  // namespace fpr

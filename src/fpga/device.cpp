@@ -128,6 +128,19 @@ Device::WireRef Device::wire_ref(NodeId v) const {
   return ref;
 }
 
+Device::TilePos Device::node_tile(NodeId v) const {
+  if (is_block(v)) {
+    const int x = v % spec_.cols;
+    const int y = v / spec_.cols;
+    return TilePos{2 * x + 1, 2 * y + 1};
+  }
+  const WireRef ref = wire_ref(v);  // FPR_CHECKs the id range
+  if (ref.dir == Dir::kHorizontal) {
+    return TilePos{2 * ref.x + 1, 2 * ref.y};
+  }
+  return TilePos{2 * ref.x, 2 * ref.y + 1};
+}
+
 std::vector<NodeId> Device::tile_siblings(NodeId wire) const {
   const WireRef ref = wire_ref(wire);
   std::vector<NodeId> siblings;

@@ -53,6 +53,19 @@ class Device {
   /// Decodes a wire node id; precondition is_wire(v).
   WireRef wire_ref(NodeId v) const;
 
+  /// Position of a node on the unified half-tile grid that interleaves
+  /// blocks and channels: block (x, y) sits at (2x+1, 2y+1), a horizontal
+  /// channel-y wire at tile x sits at (2x+1, 2y), a vertical channel-x wire
+  /// at tile y sits at (2x, 2y+1). The grid spans [0, 2*cols] x [0, 2*rows]
+  /// and every edge of the routing graph (connection-block or switch-block)
+  /// connects nodes within Chebyshev distance 2 — the locality bound the
+  /// net-parallel router's footprint rectangles are built on (partition.hpp).
+  struct TilePos {
+    int x = 0;
+    int y = 0;
+  };
+  TilePos node_tile(NodeId v) const;
+
   /// All wire nodes sharing a channel tile with `wire` (itself excluded);
   /// these are the segments competing for the same channel capacity, the
   /// ones the router's congestion model penalizes.

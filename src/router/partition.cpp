@@ -1,0 +1,81 @@
+#include "router/partition.hpp"
+
+#include <vector>
+
+#include "core/contract.hpp"
+
+namespace fpr {
+
+TileRect device_tile_bounds(const Device& device) {
+  const ArchSpec& spec = device.spec();
+  // Blocks at (2x+1, 2y+1), vertical channels at even x in [0, 2*cols],
+  // horizontal channels at even y in [0, 2*rows] — see Device::node_tile.
+  return TileRect{0, 0, 2 * spec.cols, 2 * spec.rows};
+}
+
+PartitionTree PartitionTree::build(const TileRect& bounds) { return build(bounds, Options{}); }
+
+PartitionTree PartitionTree::build(const TileRect& bounds, const Options& options) {
+  PartitionTree tree;
+  if (bounds.empty()) return tree;
+  FPR_CHECK(options.leaf_span >= 1, "PartitionTree leaf_span " << options.leaf_span << " < 1");
+
+  tree.nodes_.push_back(Node{bounds, -1, -1, -1, 0});
+  // The tree is built breadth-first over a growing vector: every node is
+  // visited once, splitting in place when its region is still wide enough.
+  for (std::size_t i = 0; i < tree.nodes_.size(); ++i) {
+    const TileRect region = tree.nodes_[i].region;
+    const int depth = tree.nodes_[i].depth;
+    const int span = region.width() > region.height() ? region.width() : region.height();
+    if (span <= options.leaf_span || depth >= options.max_depth) continue;
+
+    TileRect low = region;
+    TileRect high = region;
+    if (region.width() >= region.height()) {
+      const int cut = region.x0 + (region.width() - 1) / 2;  // cut after column `cut`
+      low.x1 = cut;
+      high.x0 = cut + 1;
+    } else {
+      const int cut = region.y0 + (region.height() - 1) / 2;
+      low.y1 = cut;
+      high.y0 = cut + 1;
+    }
+    const int low_id = static_cast<int>(tree.nodes_.size());
+    const int high_id = low_id + 1;
+    const int self = static_cast<int>(i);
+    tree.nodes_[i].low = low_id;
+    tree.nodes_[i].high = high_id;
+    tree.nodes_.push_back(Node{low, self, -1, -1, depth + 1});
+    tree.nodes_.push_back(Node{high, self, -1, -1, depth + 1});
+  }
+  return tree;
+}
+
+std::vector<int> PartitionTree::leaves() const {
+  std::vector<int> out;
+  for (int id = 0; id < size(); ++id) {
+    if (is_leaf(id)) out.push_back(id);
+  }
+  return out;
+}
+
+int PartitionTree::assign(const TileRect& box) const {
+  if (nodes_.empty()) return -1;
+  FPR_CHECK(node(0).region.contains(box),
+            "PartitionTree::assign box [" << box.x0 << "," << box.y0 << " .. " << box.x1 << ","
+                                          << box.y1 << "] escapes the root region");
+  int id = 0;
+  while (!is_leaf(id)) {
+    const Node& n = node(id);
+    if (node(n.low).region.contains(box)) {
+      id = n.low;
+    } else if (node(n.high).region.contains(box)) {
+      id = n.high;
+    } else {
+      break;  // box crosses this node's cutline: it lives here
+    }
+  }
+  return id;
+}
+
+}  // namespace fpr

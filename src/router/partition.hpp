@@ -1,0 +1,134 @@
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+
+namespace fpr {
+
+/// Axis-aligned rectangle over the device's unified half-tile grid (see
+/// Device::node_tile): logic blocks sit at odd (x, y), channel segments at
+/// the even coordinate of their channel axis. Coordinates are inclusive;
+/// the default-constructed rect is empty (x1 < x0). Every device edge
+/// connects nodes within Chebyshev distance 2 of each other in this grid,
+/// which is what makes a rectangle a sound over-approximation of a search's
+/// read set (DESIGN.md §11).
+struct TileRect {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = -1;
+  int y1 = -1;
+
+  bool empty() const { return x1 < x0 || y1 < y0; }
+  int width() const { return empty() ? 0 : x1 - x0 + 1; }
+  int height() const { return empty() ? 0 : y1 - y0 + 1; }
+
+  bool intersects(const TileRect& o) const {
+    return !empty() && !o.empty() && x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+
+  /// True when every point of `o` lies inside this rect. The empty rect is
+  /// contained in everything (vacuous truth) and contains nothing but
+  /// itself — via the first clause, since an empty `o` has no points.
+  bool contains(const TileRect& o) const {
+    if (o.empty()) return true;
+    return !empty() && x0 <= o.x0 && o.x1 <= x1 && y0 <= o.y0 && o.y1 <= y1;
+  }
+
+  bool contains_point(int x, int y) const {
+    return !empty() && x0 <= x && x <= x1 && y0 <= y && y <= y1;
+  }
+
+  void include(int x, int y) {
+    if (empty()) {
+      x0 = x1 = x;
+      y0 = y1 = y;
+      return;
+    }
+    x0 = x < x0 ? x : x0;
+    x1 = x > x1 ? x : x1;
+    y0 = y < y0 ? y : y0;
+    y1 = y > y1 ? y : y1;
+  }
+
+  void include(const TileRect& o) {
+    if (o.empty()) return;
+    include(o.x0, o.y0);
+    include(o.x1, o.y1);
+  }
+
+  /// Grown by `margin` grid units on every side; empty stays empty.
+  TileRect expanded(int margin) const {
+    if (empty()) return *this;
+    return TileRect{x0 - margin, y0 - margin, x1 + margin, y1 + margin};
+  }
+
+  /// Intersection with `bounds` (empty when disjoint).
+  TileRect clipped(const TileRect& bounds) const {
+    if (!intersects(bounds)) return TileRect{};
+    return TileRect{x0 > bounds.x0 ? x0 : bounds.x0, y0 > bounds.y0 ? y0 : bounds.y0,
+                    x1 < bounds.x1 ? x1 : bounds.x1, y1 < bounds.y1 ? y1 : bounds.y1};
+  }
+
+  friend bool operator==(const TileRect&, const TileRect&) = default;
+};
+
+/// The whole routable area of `device` in unified half-tile coordinates.
+TileRect device_tile_bounds(const Device& device);
+
+/// Recursive spatial bisection of the device area — the net-parallel
+/// router's scheduler (DESIGN.md §11, after VPR's partition tree). Each
+/// internal node splits its region across the middle of the wider axis into
+/// two disjoint child regions that exactly tile it; splitting stops at
+/// Options::leaf_span or max_depth. A net whose bounding box crosses a
+/// cutline "lives at" the branch node above that cut: assign() returns the
+/// lowest tree node whose region contains the box, which for any box is the
+/// lowest common ancestor of the leaves its corners fall in.
+///
+/// Two nets may route concurrently when independent(assign(a), assign(b)):
+/// their tree regions are disjoint, so a tree-region-confined search for
+/// one can never observe the other's commits. The router treats the tree
+/// purely as a scheduler — actual disjointness of each search's observed
+/// footprint is re-validated before a speculative route is accepted, so
+/// scheduling quality affects speed, never results.
+class PartitionTree {
+ public:
+  struct Options {
+    /// Stop splitting once a region's wider side is at most this many grid
+    /// units. Half-tile units: 8 spans four logic-block columns.
+    int leaf_span = 8;
+    int max_depth = 12;
+  };
+
+  struct Node {
+    TileRect region;
+    int parent = -1;
+    int low = -1;   // child covering the low side of the cut (-1 at leaves)
+    int high = -1;  // child covering the high side
+    int depth = 0;
+  };
+
+  static PartitionTree build(const TileRect& bounds);  // default Options
+  static PartitionTree build(const TileRect& bounds, const Options& options);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  int root() const { return nodes_.empty() ? -1 : 0; }
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  bool is_leaf(int id) const { return node(id).low < 0; }
+  std::vector<int> leaves() const;
+
+  /// The lowest node whose region contains `box` (the root when only the
+  /// root does). Precondition: the root region contains `box`; clip net
+  /// boxes to device_tile_bounds() before assigning. -1 for an empty tree.
+  int assign(const TileRect& box) const;
+
+  /// Nets assigned to `a` and `b` occupy disjoint device regions — in a
+  /// bisection tree, region disjointness is exactly "neither node is an
+  /// ancestor of the other".
+  bool independent(int a, int b) const { return !node(a).region.intersects(node(b).region); }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace fpr

@@ -76,6 +76,16 @@ struct RouterOptions {
   /// in-flight and unattempted nets are marked NetStatus::kAbortedBudget,
   /// and the partial RoutingResult reports budget_exhausted.
   long long node_budget = 0;
+
+  /// Worker threads for the net-parallel pass (the partition-tree wave
+  /// scheduler, DESIGN.md §11): 0 = the shared pool (FPR_THREADS /
+  /// hardware default), 1 = serial, >= 2 = a pool of that size. The result
+  /// — device state, per-net records, pass count, move-to-front order,
+  /// work_used — is bit-identical for every value; threads only change
+  /// wall-clock time. Speculation engages only for configurations whose
+  /// searches are read-confined (corridor candidates, whole-net trees, no
+  /// node budget); anything else routes serially regardless of this knob.
+  int threads = 0;
 };
 
 /// Per-net routing outcome classification — the graceful-degradation
@@ -156,6 +166,11 @@ struct RoutingResult {
   /// finished: `nets` is a partial-but-consistent solution (every kRouted
   /// net is committed and electrically disjoint; nothing is half-routed).
   bool budget_exhausted = false;
+
+  /// The net order (indices into `nets`) the final pass routed in — the
+  /// accumulated move-to-front permutation. Part of the determinism
+  /// contract: bit-identical across RouterOptions::threads values.
+  std::vector<std::size_t> net_order;
 
   /// Fraction of nets routed — the yield measure of a degraded run (1.0 for
   /// an empty circuit).

@@ -26,6 +26,17 @@ WidthProbe probe_of(int width, const RoutingResult& r) {
   return WidthProbe{width, r.success, r.budget_exhausted};
 }
 
+/// Fills WidthSearchResult::undecided_probes from the recorded trace. A
+/// successful probe is decided even when it also hit the budget (a partial
+/// route that still closed is an answer); only "failed AND budget-aborted"
+/// is genuinely unknown.
+void count_undecided(WidthSearchResult& result) {
+  result.undecided_probes = 0;
+  for (const WidthProbe& p : result.attempts) {
+    if (!p.success && p.budget_aborted) ++result.undecided_probes;
+  }
+}
+
 /// Replays the serial binary-search decision sequence over memoized
 /// per-width outcomes, recording attempts in the serial order. Returns
 /// false (leaving `result` half-filled) when it reaches a width the memo
@@ -143,6 +154,7 @@ WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& ci
     if (!at_hi.success) {  // unroutable (or budget-undecided) at the widest device
       result.status = at_hi.budget_exhausted ? WidthSearchStatus::kBudgetExhausted
                                              : WidthSearchStatus::kUnroutable;
+      count_undecided(result);
       return result;
     }
     result.status = WidthSearchStatus::kFound;
@@ -161,6 +173,7 @@ WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& ci
         lo = mid + 1;
       }
     }
+    count_undecided(result);
     return result;
   }
 
@@ -171,25 +184,21 @@ WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& ci
   // routability makes most speculative probes useful; the replay keeps the
   // recorded trace and the chosen width bit-identical to the serial path
   // regardless.
-  ThreadPool* pool = &ThreadPool::shared();
-  std::unique_ptr<ThreadPool> dedicated;
-  if (pool->size() != threads) {
-    dedicated = std::make_unique<ThreadPool>(threads);
-    pool = dedicated.get();
-  }
+  PoolLease lease(threads);
 
   std::map<int, RoutingResult> memo;
   while (!replay_serial_search(memo, lo0, hi, result)) {
     const std::vector<int> widths =
         speculate_widths(memo, lo0, hi, static_cast<std::size_t>(threads));
     std::vector<RoutingResult> outcomes(widths.size());
-    pool->parallel_for(widths.size(),
-                       [&](std::size_t i) { outcomes[i] = route_width(widths[i]); });
+    lease.pool().parallel_for(widths.size(),
+                              [&](std::size_t i) { outcomes[i] = route_width(widths[i]); });
     for (std::size_t i = 0; i < widths.size(); ++i) {
       memo.emplace(widths[i], std::move(outcomes[i]));
     }
   }
   if (result.min_width > 0) result.at_min_width = std::move(memo.at(result.min_width));
+  count_undecided(result);
   return result;
 }
 

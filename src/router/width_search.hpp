@@ -67,6 +67,16 @@ struct WidthSearchResult {
   int min_width = -1;  // -1 unless status == kFound
   RoutingResult at_min_width;
   std::vector<WidthProbe> attempts;  // serial-order probe trace
+
+  /// Probes in `attempts` that were budget-undecided: the router aborted on
+  /// its per-probe work budget before reaching an answer, and the search
+  /// treated the width as failing (the safe direction — widths are only
+  /// ever overestimated). Nonzero alongside status == kFound means
+  /// min_width is an upper bound, not a certainty: a narrower width below
+  /// it may have been ruled out by budget rather than by congestion.
+  /// Derived from `attempts`, so it inherits the bit-identical
+  /// serial/parallel contract below.
+  int undecided_probes = 0;
 };
 
 /// Finds the smallest channel width at which the router completes the

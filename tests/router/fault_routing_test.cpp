@@ -190,6 +190,32 @@ TEST(FaultRoutingTest, AmpleBudgetMatchesUnlimited) {
   expect_identical(ru, rb);
 }
 
+// Regression for budget-shaped measurement: measure() used to read the
+// per-net oracle's cached source tree, which a tight work budget can have
+// truncated mid-routing (budget-aborted partial trees stay cached, see
+// path_oracle.hpp) — so nets that ROUTED were recorded with an infinite
+// optimal_max_pathlength, violating optimal <= actual. Measurement now
+// runs post-hoc on complete, unbudgeted trees. The seed/budget pair below
+// is calibrated: on the pre-fix router it reports optimal == infinity for
+// a routed net at every fault seed in 1..40.
+TEST(FaultRoutingTest, RoutedNetsMeasureFiniteOptimalUnderTightBudget) {
+  Device device(ArchSpec::xc4000(4, 4, 5));
+  device.install_faults(moderate_faults(1));
+  RouterOptions options;
+  options.node_budget = 700;
+  const RoutingResult result = route_circuit(device, small_circuit(), options);
+  bool any_routed = false;
+  for (const NetRouteResult& net : result.nets) {
+    if (!net.routed()) continue;
+    any_routed = true;
+    // A routed net's optimal bound is a real path length: finite, and a
+    // lower bound on the maximum source-sink path the tree realized.
+    EXPECT_LT(net.optimal_max_pathlength, kInfiniteWeight / 2);
+    EXPECT_GE(net.max_pathlength, net.optimal_max_pathlength - 1e-9);
+  }
+  EXPECT_TRUE(any_routed);
+}
+
 TEST(WidthSearchStatusTest, EmptyRange) {
   WidthSearchOptions search;
   search.max_width = 0;
@@ -241,6 +267,59 @@ TEST(WidthSearchStatusTest, BudgetExhausted) {
   ASSERT_FALSE(r.attempts.empty());
   EXPECT_TRUE(r.attempts.front().budget_aborted);
   EXPECT_EQ(width_search_status_name(r.status), "budget");
+}
+
+// A found width is not always a certainty: when a narrower probe dies on
+// its per-probe budget, the search treats it as failing (the safe
+// direction) and keeps the wider answer — but the result must SAY so.
+// undecided_probes surfaces exactly those budget-aborted attempts, so a
+// kFound result with undecided_probes > 0 reads "min_width is an upper
+// bound". Calibrated: 32 center-crossing nets on an 8x8 array route at
+// width 3, the width-2 probe grinds through rip-up passes until the
+// 55k-expansion budget kills it, and the max-width probe decides with
+// room to spare.
+TEST(WidthSearchStatusTest, FoundWithBudgetUndecidedProbesIsFlagged) {
+  Circuit c;
+  c.name = "crossings";
+  c.rows = 8;
+  c.cols = 8;
+  for (int i = 0; i < 8; ++i) {
+    c.nets.push_back({{0, i}, {{7, 7 - i}}});
+    c.nets.push_back({{i, 0}, {{7 - i, 7}}});
+    c.nets.push_back({{0, i}, {{7, i}}});
+    c.nets.push_back({{i, 0}, {{i, 7}}});
+  }
+  RouterOptions router;
+  router.max_passes = 20;
+  WidthSearchOptions search;
+  search.min_width = 1;
+  search.max_width = 6;
+  search.node_budget_per_probe = 55'000;
+  const WidthSearchResult r =
+      find_min_channel_width(ArchSpec::xc4000(8, 8, 1), c, router, search);
+  ASSERT_EQ(r.status, WidthSearchStatus::kFound);
+  EXPECT_EQ(r.min_width, 3);
+  EXPECT_EQ(r.undecided_probes, 1);
+  int aborted = 0;
+  for (const WidthProbe& probe : r.attempts) {
+    if (probe.budget_aborted) {
+      ++aborted;
+      EXPECT_FALSE(probe.success);
+      EXPECT_LT(probe.width, r.min_width);  // only narrower widths undecided
+    }
+  }
+  EXPECT_EQ(r.undecided_probes, aborted);
+
+  // The flag inherits the serial-replay contract: bit-identical pooled.
+  WidthSearchOptions pooled = search;
+  pooled.threads = 4;
+  const WidthSearchResult p =
+      find_min_channel_width(ArchSpec::xc4000(8, 8, 1), c, router, pooled);
+  EXPECT_EQ(p.status, r.status);
+  EXPECT_EQ(p.min_width, r.min_width);
+  EXPECT_EQ(p.undecided_probes, r.undecided_probes);
+  EXPECT_EQ(p.attempts, r.attempts);
+  expect_identical(p.at_min_width, r.at_min_width);
 }
 
 TEST(WidthSearchStatusTest, FaultedSearchIsThreadCountInvariant) {

@@ -1,0 +1,239 @@
+// Determinism contract of the net-parallel wave scheduler (DESIGN.md §11):
+// route_circuit produces byte-identical results — per-net records, pass
+// count, move-to-front order, work accounting, final device state — at
+// every RouterOptions::threads value, across pristine, faulted, and
+// budget-starved scenarios, with every cell replayed through the
+// feasibility oracle. Plus engagement tests proving the speculation
+// machinery actually runs (a determinism test against a scheduler that
+// never engages would be vacuous).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "core/metrics.hpp"
+#include "netlist/profiles.hpp"
+#include "netlist/synth.hpp"
+#include "router/router.hpp"
+
+namespace fpr {
+namespace {
+
+/// Field-by-field equality over everything the determinism contract
+/// promises (RoutingResult has no operator==; spelling the fields out also
+/// localizes a failure to the field that diverged).
+void expect_identical(const RoutingResult& a, const RoutingResult& b) {
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.passes, b.passes);
+  EXPECT_EQ(a.failed_nets, b.failed_nets);
+  EXPECT_EQ(a.total_wirelength, b.total_wirelength);
+  EXPECT_EQ(a.total_wire_nodes, b.total_wire_nodes);
+  EXPECT_EQ(a.total_max_pathlength, b.total_max_pathlength);
+  EXPECT_EQ(a.total_optimal_max_pathlength, b.total_optimal_max_pathlength);
+  EXPECT_EQ(a.total_physical_wirelength, b.total_physical_wirelength);
+  EXPECT_EQ(a.total_physical_max_path, b.total_physical_max_path);
+  EXPECT_EQ(a.nets_rerouted_around_faults, b.nets_rerouted_around_faults);
+  EXPECT_EQ(a.nets_blocked_by_fault, b.nets_blocked_by_fault);
+  EXPECT_EQ(a.nets_aborted_budget, b.nets_aborted_budget);
+  EXPECT_EQ(a.detour_wirelength_overhead, b.detour_wirelength_overhead);
+  EXPECT_EQ(a.work_used, b.work_used);
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+  EXPECT_EQ(a.net_order, b.net_order);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].status, b.nets[i].status) << "net " << i;
+    EXPECT_EQ(a.nets[i].retries, b.nets[i].retries) << "net " << i;
+    EXPECT_EQ(a.nets[i].blocked_sink, b.nets[i].blocked_sink) << "net " << i;
+    EXPECT_EQ(a.nets[i].edges, b.nets[i].edges) << "net " << i;
+    EXPECT_EQ(a.nets[i].wirelength, b.nets[i].wirelength) << "net " << i;
+    EXPECT_EQ(a.nets[i].max_pathlength, b.nets[i].max_pathlength) << "net " << i;
+    EXPECT_EQ(a.nets[i].optimal_max_pathlength, b.nets[i].optimal_max_pathlength)
+        << "net " << i;
+    EXPECT_EQ(a.nets[i].physical_wirelength, b.nets[i].physical_wirelength) << "net " << i;
+    EXPECT_EQ(a.nets[i].physical_max_path, b.nets[i].physical_max_path) << "net " << i;
+    EXPECT_EQ(a.nets[i].wire_nodes_used, b.nets[i].wire_nodes_used) << "net " << i;
+  }
+}
+
+/// Routes `circuit` at threads = 1, 2, 4, 8 on fresh devices and asserts
+/// the full determinism contract between the serial reference and every
+/// parallel run — including the final device state (wire consumption and
+/// exact edge-weight distribution) — then replays the serial result
+/// through the feasibility oracle.
+void expect_thread_count_invariant(const ArchSpec& arch, const Circuit& circuit,
+                                   const RouterOptions& base,
+                                   const FaultSpec* faults = nullptr) {
+  RouterOptions serial = base;
+  serial.threads = 1;
+  Device reference(arch);
+  if (faults != nullptr) reference.install_faults(*faults);
+  const RoutingResult expected = route_circuit(reference, circuit, serial);
+
+  for (const int threads : {2, 4, 8}) {
+    RouterOptions parallel = base;
+    parallel.threads = threads;
+    Device device(arch);
+    if (faults != nullptr) device.install_faults(*faults);
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    const RoutingResult actual = route_circuit(device, circuit, parallel);
+    expect_identical(expected, actual);
+    EXPECT_EQ(device.used_wire_count(), reference.used_wire_count());
+    // Bit-exact weights: the congestion-penalty commits happened in the
+    // same order with the same values.
+    EXPECT_EQ(device.graph().mean_active_edge_weight(),
+              reference.graph().mean_active_edge_weight());
+  }
+
+  const auto check = check::check_routing_feasibility(arch, circuit, expected, serial, faults);
+  EXPECT_TRUE(check.ok()) << check.message();
+}
+
+/// A circuit whose nets cluster in the four quadrants of the array —
+/// spatially independent by construction, so the wave scheduler has real
+/// parallelism to find.
+Circuit quadrant_circuit(int n) {
+  Circuit c;
+  c.name = "quadrants";
+  c.rows = c.cols = 2 * n;
+  for (int q = 0; q < 4; ++q) {
+    const int bx = (q % 2) * n;
+    const int by = (q / 2) * n;
+    for (int i = 0; i + 1 < n; ++i) {
+      c.nets.push_back({{bx + i, by + i}, {{bx + i + 1, by + i}, {bx + i, by + i + 1}}});
+      c.nets.push_back({{bx + n - 1 - i, by + i}, {{bx + n - 1 - i, by + i + 1}}});
+    }
+  }
+  return c;
+}
+
+Circuit table_circuit(const CircuitProfile& profile, unsigned seed) {
+  return synthesize_circuit(profile, seed);
+}
+
+TEST(ParallelRouteTest, QuadrantCircuitIsThreadCountInvariant) {
+  const int n = 5;
+  const ArchSpec arch = ArchSpec::xc4000(2 * n, 2 * n, 5);
+  RouterOptions options;
+  options.max_passes = 6;
+  expect_thread_count_invariant(arch, quadrant_circuit(n), options);
+}
+
+TEST(ParallelRouteTest, SpeculationEngagesAndAddsUp) {
+  const int n = 5;
+  const ArchSpec arch = ArchSpec::xc4000(2 * n, 2 * n, 5);
+  RouterOptions options;
+  options.max_passes = 6;
+  options.threads = 4;
+  counters().reset();
+  Device device(arch);
+  const RoutingResult r = route_circuit(device, quadrant_circuit(n), options);
+  EXPECT_TRUE(r.success);
+  const auto waves = counters().parallel_waves.load();
+  const auto speculated = counters().nets_speculated.load();
+  const auto accepted = counters().nets_spec_accepted.load();
+  const auto recomputed = counters().nets_spec_recomputed.load();
+  EXPECT_GT(waves, 0u) << "wave scheduler never engaged: the determinism "
+                          "tests in this suite would be vacuous";
+  EXPECT_GT(speculated, 0u);
+  EXPECT_EQ(accepted + recomputed, speculated);
+  // Quadrant-disjoint nets validate cleanly nearly always; a scheduler that
+  // recomputes everything is formally correct but useless.
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(ParallelRouteTest, SerialThreadsNeverSpeculate) {
+  counters().reset();
+  RouterOptions options;
+  options.threads = 1;
+  Device device(ArchSpec::xc4000(6, 6, 4));
+  route_circuit(device, quadrant_circuit(3), options);
+  EXPECT_EQ(counters().parallel_waves.load(), 0u);
+  EXPECT_EQ(counters().nets_speculated.load(), 0u);
+}
+
+TEST(ParallelRouteTest, Table2CircuitIsThreadCountInvariant) {
+  // busc, the smallest Table 2 (3000-series) circuit, at the paper's CGE
+  // width so congestion (and move-to-front reordering) is actually
+  // exercised rather than everything routing in one clean pass.
+  const CircuitProfile& profile = xc3000_profiles()[0];
+  ASSERT_EQ(profile.name, "busc");
+  const ArchSpec arch = ArchSpec::xc3000(profile.rows, profile.cols, profile.paper_ikmb);
+  RouterOptions options;
+  options.max_passes = 5;
+  expect_thread_count_invariant(arch, table_circuit(profile, 31), options);
+}
+
+TEST(ParallelRouteTest, Table3CircuitIsThreadCountInvariant) {
+  // term1, the smallest Table 3 (4000-series) circuit, at its paper width.
+  const CircuitProfile& profile = xc4000_profiles()[2];
+  ASSERT_EQ(profile.name, "term1");
+  const ArchSpec arch = ArchSpec::xc4000(profile.rows, profile.cols, profile.paper_ikmb);
+  RouterOptions options;
+  options.max_passes = 5;
+  expect_thread_count_invariant(arch, table_circuit(profile, 7), options);
+}
+
+TEST(ParallelRouteTest, FaultedRoutingIsThreadCountInvariant) {
+  // Failed speculations are rejected whenever the fault-retry ladder could
+  // follow (it mutates global weights); this scenario proves the rejection
+  // path keeps retried-net records and detour statistics identical.
+  const int n = 5;
+  const ArchSpec arch = ArchSpec::xc4000(2 * n, 2 * n, 5);
+  FaultSpec faults;
+  faults.seed = 21;
+  faults.wire_permille = 50;
+  faults.switch_permille = 40;
+  faults.pin_permille = 20;
+  RouterOptions options;
+  options.max_passes = 6;
+  expect_thread_count_invariant(arch, quadrant_circuit(n), options, &faults);
+}
+
+TEST(ParallelRouteTest, BudgetAbortedRoutingIsThreadCountInvariant) {
+  // A node budget disables speculation (speculative work must not depend on
+  // attempt order), so the contract here is that the gate really does fall
+  // back to the serial path: identical partial results and abort statuses.
+  const int n = 4;
+  const ArchSpec arch = ArchSpec::xc4000(2 * n, 2 * n, 5);
+  RouterOptions options;
+  options.max_passes = 4;
+  options.node_budget = 800;  // expires mid-circuit
+  counters().reset();
+  expect_thread_count_invariant(arch, quadrant_circuit(n), options);
+  EXPECT_EQ(counters().parallel_waves.load(), 0u);
+}
+
+TEST(ParallelRouteTest, DecomposedModeIsThreadCountInvariant) {
+  // Two-pin decomposition commits mid-attempt, so it is gated out of wave
+  // mode entirely; the contract is still bit-identity via serial fallback.
+  const int n = 4;
+  const ArchSpec arch = ArchSpec::xc4000(2 * n, 2 * n, 6);
+  RouterOptions options;
+  options.max_passes = 4;
+  options.decompose_two_pin = true;
+  counters().reset();
+  expect_thread_count_invariant(arch, quadrant_circuit(n), options);
+  EXPECT_EQ(counters().parallel_waves.load(), 0u);
+}
+
+TEST(ParallelRouteTest, ZeroMeansSharedPoolAndStaysIdentical) {
+  // threads = 0 resolves to the shared pool (FPR_THREADS / hardware size,
+  // whatever it is on this machine) — the result must still match serial.
+  const int n = 4;
+  const ArchSpec arch = ArchSpec::xc4000(2 * n, 2 * n, 5);
+  const Circuit circuit = quadrant_circuit(n);
+  RouterOptions serial;
+  serial.max_passes = 5;
+  serial.threads = 1;
+  RouterOptions pooled = serial;
+  pooled.threads = 0;
+  Device a(arch);
+  Device b(arch);
+  const RoutingResult ra = route_circuit(a, circuit, serial);
+  const RoutingResult rb = route_circuit(b, circuit, pooled);
+  expect_identical(ra, rb);
+}
+
+}  // namespace
+}  // namespace fpr

@@ -1,0 +1,181 @@
+// Properties of the net-parallel scheduler's spatial bisection tree
+// (router/partition.hpp): leaves tile the device area disjointly, every
+// box is assigned to exactly one node — the lowest that contains it — and
+// cutline-crossing boxes land at the lowest common branch of their
+// corners' leaves.
+
+#include "router/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace fpr {
+namespace {
+
+TEST(TileRectTest, EmptinessAndInclude) {
+  TileRect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_FALSE(r.intersects(r));       // empty rects intersect nothing
+  EXPECT_TRUE((TileRect{0, 0, 5, 5}.contains(r)));  // ...but sit inside everything
+  r.include(3, 4);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r, (TileRect{3, 4, 3, 4}));
+  r.include(1, 7);
+  EXPECT_EQ(r, (TileRect{1, 4, 3, 7}));
+}
+
+TEST(TileRectTest, IntersectionAndClipping) {
+  const TileRect a{0, 0, 4, 4};
+  const TileRect b{4, 4, 8, 8};  // inclusive coords: corner overlap at (4,4)
+  const TileRect c{5, 0, 8, 3};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_EQ(a.clipped(b), (TileRect{4, 4, 4, 4}));
+  EXPECT_TRUE(a.clipped(c).empty());
+  EXPECT_EQ(a.expanded(2), (TileRect{-2, -2, 6, 6}));
+  EXPECT_TRUE(TileRect{}.expanded(3).empty());
+}
+
+TEST(PartitionTreeTest, LeavesTileTheBoundsDisjointly) {
+  const TileRect bounds{0, 0, 33, 25};
+  const PartitionTree tree = PartitionTree::build(bounds);
+  ASSERT_GT(tree.size(), 1);
+  const std::vector<int> leaves = tree.leaves();
+  long long area = 0;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const TileRect& r = tree.node(leaves[i]).region;
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(bounds.contains(r));
+    area += static_cast<long long>(r.width()) * r.height();
+    for (std::size_t j = i + 1; j < leaves.size(); ++j) {
+      EXPECT_FALSE(r.intersects(tree.node(leaves[j]).region))
+          << "leaves " << leaves[i] << " and " << leaves[j] << " overlap";
+    }
+  }
+  // Disjoint + contained + areas summing to the whole: an exact tiling.
+  EXPECT_EQ(area, static_cast<long long>(bounds.width()) * bounds.height());
+}
+
+TEST(PartitionTreeTest, ChildrenExactlySplitTheirParent) {
+  const PartitionTree tree = PartitionTree::build(TileRect{0, 0, 40, 17});
+  for (int id = 0; id < tree.size(); ++id) {
+    if (tree.is_leaf(id)) continue;
+    const auto& n = tree.node(id);
+    const TileRect& lo = tree.node(n.low).region;
+    const TileRect& hi = tree.node(n.high).region;
+    EXPECT_FALSE(lo.intersects(hi));
+    EXPECT_TRUE(n.region.contains(lo));
+    EXPECT_TRUE(n.region.contains(hi));
+    EXPECT_EQ(static_cast<long long>(lo.width()) * lo.height() +
+                  static_cast<long long>(hi.width()) * hi.height(),
+              static_cast<long long>(n.region.width()) * n.region.height());
+    EXPECT_EQ(tree.node(n.low).parent, id);
+    EXPECT_EQ(tree.node(n.high).parent, id);
+    EXPECT_EQ(tree.node(n.low).depth, n.depth + 1);
+  }
+}
+
+TEST(PartitionTreeTest, AssignReturnsLowestContainingNode) {
+  const TileRect bounds{0, 0, 50, 50};
+  const PartitionTree tree = PartitionTree::build(bounds);
+  SplitMixRng rng(91);
+  for (int trial = 0; trial < 200; ++trial) {
+    TileRect box;
+    box.include(static_cast<int>(rng.below(51)), static_cast<int>(rng.below(51)));
+    box.include(static_cast<int>(rng.below(51)), static_cast<int>(rng.below(51)));
+    const int id = tree.assign(box);
+    ASSERT_GE(id, 0);
+    EXPECT_TRUE(tree.node(id).region.contains(box));
+    // Lowest: neither child (if any) contains the box.
+    if (!tree.is_leaf(id)) {
+      EXPECT_FALSE(tree.node(tree.node(id).low).region.contains(box));
+      EXPECT_FALSE(tree.node(tree.node(id).high).region.contains(box));
+    }
+  }
+}
+
+TEST(PartitionTreeTest, CrossingBoxLandsAtLowestCommonBranchOfItsCorners) {
+  const TileRect bounds{0, 0, 63, 63};
+  const PartitionTree tree = PartitionTree::build(bounds);
+  SplitMixRng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int x0 = static_cast<int>(rng.below(64));
+    const int y0 = static_cast<int>(rng.below(64));
+    const int x1 = static_cast<int>(rng.below(64));
+    const int y1 = static_cast<int>(rng.below(64));
+    TileRect box;
+    box.include(x0, y0);
+    box.include(x1, y1);
+    // Ancestor chain of a corner's leaf (as point-sized boxes).
+    const auto chain_of = [&](int x, int y) {
+      std::vector<int> chain;
+      TileRect pt;
+      pt.include(x, y);
+      for (int id = tree.assign(pt); id >= 0; id = tree.node(id).parent) chain.push_back(id);
+      return chain;  // leaf-to-root
+    };
+    // LCA over all four corners = deepest node on every corner's chain.
+    const std::vector<std::vector<int>> chains{
+        chain_of(box.x0, box.y0), chain_of(box.x1, box.y0),
+        chain_of(box.x0, box.y1), chain_of(box.x1, box.y1)};
+    int lca = tree.root();
+    for (const int candidate : chains[0]) {
+      bool on_all = true;
+      for (const auto& chain : chains) {
+        bool found = false;
+        for (const int id : chain) found = found || id == candidate;
+        on_all = on_all && found;
+      }
+      if (on_all) {
+        lca = candidate;  // chains run leaf-to-root: first common hit is deepest
+        break;
+      }
+    }
+    EXPECT_EQ(tree.assign(box), lca) << "box [" << box.x0 << "," << box.y0 << ".." << box.x1
+                                     << "," << box.y1 << "]";
+  }
+}
+
+TEST(PartitionTreeTest, IndependenceIsRegionDisjointness) {
+  const PartitionTree tree = PartitionTree::build(TileRect{0, 0, 31, 31});
+  const std::vector<int> leaves = tree.leaves();
+  ASSERT_GE(leaves.size(), 2u);
+  // Distinct leaves are always independent; no node is independent of
+  // itself or of its own ancestors.
+  EXPECT_TRUE(tree.independent(leaves.front(), leaves.back()));
+  for (const int leaf : leaves) {
+    EXPECT_FALSE(tree.independent(leaf, leaf));
+    for (int id = tree.node(leaf).parent; id >= 0; id = tree.node(id).parent) {
+      EXPECT_FALSE(tree.independent(leaf, id));
+      EXPECT_FALSE(tree.independent(id, leaf));
+    }
+  }
+}
+
+TEST(PartitionTreeTest, DegenerateBoundsMakeSingleLeaf) {
+  const PartitionTree tiny = PartitionTree::build(TileRect{0, 0, 3, 3});
+  EXPECT_EQ(tiny.size(), 1);
+  EXPECT_TRUE(tiny.is_leaf(tiny.root()));
+  EXPECT_EQ(tiny.assign(TileRect{1, 1, 2, 2}), tiny.root());
+  const PartitionTree empty = PartitionTree::build(TileRect{});
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.assign(TileRect{}), -1);
+}
+
+TEST(PartitionTreeTest, MaxDepthCapsSplitting) {
+  PartitionTree::Options options;
+  options.leaf_span = 1;
+  options.max_depth = 3;
+  const PartitionTree tree = PartitionTree::build(TileRect{0, 0, 100, 100}, options);
+  for (int id = 0; id < tree.size(); ++id) {
+    EXPECT_LE(tree.node(id).depth, 3);
+  }
+  EXPECT_LE(tree.size(), 15);  // a depth-3 binary tree
+}
+
+}  // namespace
+}  // namespace fpr
