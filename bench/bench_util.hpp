@@ -10,6 +10,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/parallel.hpp"
 
 namespace fpr::bench {
@@ -53,6 +57,25 @@ inline std::string iso_timestamp() {
   char buf[32];
   std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
   return buf;
+}
+
+/// Peak resident-set size of this process so far, in KiB (getrusage
+/// ru_maxrss). A high-water mark, not a current reading — meaningful only
+/// when the process has done exactly one measurable thing, which is why
+/// bench/device_scale forks one child per case instead of sweeping in-line.
+/// Returns 0 on platforms without the counter.
+inline long peak_rss_kib() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // macOS reports bytes
+#else
+  return usage.ru_maxrss;  // Linux reports KiB
+#endif
+#else
+  return 0;
+#endif
 }
 
 /// FPR_FULL=1 enables the heaviest circuit sweeps.

@@ -273,6 +273,18 @@ CircuitCase generate_circuit_case(std::uint64_t case_seed) {
   // contract. Appended last: earlier draws (and thus every pre-existing
   // field of a given seed) are unchanged.
   c.threads = rng.below(4) == 0 ? rng.range(2, 4) : 1;
+  // One case in eight is promoted to a large array (>= the tile-template
+  // sampling floor of 7x7) so every oracle continuously cross-checks the
+  // stamped builder, not just the legacy path the small grids take. Width
+  // drops and net counts stay small to keep the case budget-friendly; the
+  // override redraws are appended last like `threads` above.
+  if (rng.below(8) == 0) {
+    c.rows = rng.range(12, 16);
+    c.cols = rng.range(12, 16);
+    c.width = rng.range(5, 7);
+    c.nets_4_10 = rng.range(0, 1);
+    c.nets_over_10 = 0;
+  }
   return c;
 }
 

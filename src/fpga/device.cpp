@@ -1,7 +1,10 @@
 #include "fpga/device.hpp"
 
+#include <algorithm>
+
 #include "core/contract.hpp"
 #include "fpga/switchbox.hpp"
+#include "fpga/tile_template.hpp"
 
 namespace fpr {
 
@@ -19,7 +22,7 @@ std::vector<int> fc_tracks(int fc, int channel_width) {
 
 }  // namespace
 
-Device::Device(const ArchSpec& spec) : spec_(spec) {
+Device::Device(const ArchSpec& spec, DeviceBuild build) : spec_(spec) {
   FPR_CHECK(spec.valid(), "Device spec " << spec.rows << "x" << spec.cols << " width "
                                          << spec.channel_width
                                          << " — rows/cols/channel_width must all be >= 1");
@@ -32,6 +35,38 @@ Device::Device(const ArchSpec& spec) : spec_(spec) {
   const NodeId vwires = static_cast<NodeId>((cols + 1) * rows * w);
   hwire_base_ = block_count_;
   vwire_base_ = block_count_ + hwires;
+
+  std::shared_ptr<const TiledTopology> topo;
+  if (build == DeviceBuild::kAuto) topo = tiled_topology_for(spec_);
+  if (topo != nullptr) {
+    // Stamped path: node ids, edge ids, insertion order and weights all come
+    // from the verified template; the id-layout invariants the accessors
+    // below rely on are cross-checked here, and the legacy emission order
+    // (every connection-block edge before the first switch-block edge) makes
+    // the CB/SB boundary pure arithmetic.
+    FPR_CHECK(topo->node_count == block_count_ + hwires + vwires,
+              "tile template synthesized " << topo->node_count << " nodes for a device of "
+                                           << block_count_ + hwires + vwires);
+    connection_edge_count_ =
+        static_cast<EdgeId>(static_cast<std::int64_t>(rows) * cols * spec_.fc() * 4);
+    FPR_CHECK(topo->edge_count >= connection_edge_count_,
+              "tile template synthesized " << topo->edge_count << " edges, fewer than the "
+                                           << connection_edge_count_ << " connection-block edges");
+    graph_ = Graph::from_tiled(std::move(topo));
+  } else {
+    build_legacy();
+  }
+  // Base state is in place; from here on every mutation is recorded so
+  // reset() can undo a routing pass in O(touched).
+  graph_.enable_touch_tracking();
+}
+
+void Device::build_legacy() {
+  const int rows = spec_.rows;
+  const int cols = spec_.cols;
+  const int w = spec_.channel_width;
+  const NodeId hwires = static_cast<NodeId>((rows + 1) * cols * w);
+  const NodeId vwires = static_cast<NodeId>((cols + 1) * rows * w);
   graph_.add_nodes(block_count_ + hwires + vwires);
 
   // Connection blocks: each logic block reaches Fc tracks of the channel
@@ -50,6 +85,11 @@ Device::Device(const ArchSpec& spec) : spec_(spec) {
   }
 
   connection_edge_count_ = graph_.edge_count();
+  FPR_CHECK(connection_edge_count_ ==
+                static_cast<EdgeId>(static_cast<std::int64_t>(rows) * cols * spec_.fc() * 4),
+            "legacy builder emitted " << connection_edge_count_
+                                      << " connection-block edges; the arithmetic id scheme "
+                                         "expects rows*cols*fc*4");
 
   // Switch blocks: at every channel intersection (x, y), x in [0, cols],
   // y in [0, rows], connect the wire segments of every pair of present
@@ -176,12 +216,30 @@ void Device::clear_faults() {
 }
 
 void Device::reset() {
-  for (NodeId v = 0; v < graph_.node_count(); ++v) {
-    if (!graph_.node_active(v)) graph_.restore_node(v);
-  }
-  for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
-    if (!graph_.edge_active(e)) graph_.restore_edge(e);
-    if (graph_.edge_weight(e) != 1.0) graph_.set_edge_weight(e, 1.0);
+  if (graph_.touch_tracking()) {
+    // Replay only what this pass mutated, in ascending id order — the same
+    // subsequence of operations the full scan below would perform (elements
+    // it skips were never mutated), so the restored state is bit-identical.
+    std::vector<NodeId> nodes(graph_.touched_nodes().begin(), graph_.touched_nodes().end());
+    std::vector<EdgeId> edges(graph_.touched_edges().begin(), graph_.touched_edges().end());
+    std::sort(nodes.begin(), nodes.end());
+    std::sort(edges.begin(), edges.end());
+    graph_.clear_touched();
+    for (const NodeId v : nodes) {
+      if (!graph_.node_active(v)) graph_.restore_node(v);
+    }
+    for (const EdgeId e : edges) {
+      if (!graph_.edge_active(e)) graph_.restore_edge(e);
+      if (graph_.edge_weight(e) != 1.0) graph_.set_edge_weight(e, 1.0);
+    }
+  } else {
+    for (NodeId v = 0; v < graph_.node_count(); ++v) {
+      if (!graph_.node_active(v)) graph_.restore_node(v);
+    }
+    for (EdgeId e = 0; e < graph_.edge_count(); ++e) {
+      if (!graph_.edge_active(e)) graph_.restore_edge(e);
+      if (graph_.edge_weight(e) != 1.0) graph_.set_edge_weight(e, 1.0);
+    }
   }
   if (faults_ != nullptr) {
     // Defects outlive routing state: every pass starts from the same

@@ -9,6 +9,18 @@
 
 namespace fpr {
 
+/// Which routing-graph builder a Device (or Device3d) uses.
+enum class DeviceBuild {
+  /// Stamp the graph from a verified tile template when one is available
+  /// for the spec (tile_template.hpp), else fall back to the legacy
+  /// incremental builder. The resulting graph is bit-identical either way.
+  kAuto,
+  /// Force the legacy per-element builder. Retained as the executable
+  /// specification the template compiler learns from and the differential
+  /// suite compares against (same policy as dijkstra_reference.hpp).
+  kLegacy,
+};
+
 /// A concrete FPGA device: the routing graph induced by an ArchSpec
 /// (Section 2, Figure 2), with the bookkeeping the router needs to commit
 /// wire segments to nets and to track per-channel-tile occupancy.
@@ -29,11 +41,15 @@ namespace fpr {
 /// router layers congestion on top and reset() restores this base state.
 class Device {
  public:
-  explicit Device(const ArchSpec& spec);
+  explicit Device(const ArchSpec& spec, DeviceBuild build = DeviceBuild::kAuto);
 
   const ArchSpec& spec() const { return spec_; }
   Graph& graph() { return graph_; }
   const Graph& graph() const { return graph_; }
+
+  /// True when the graph was stamped from a tile template (and still uses
+  /// the tiled representation).
+  bool tiled() const { return graph_.tiled(); }
 
   enum class Dir { kHorizontal, kVertical };
 
@@ -71,6 +87,20 @@ class Device {
   /// ones the router's congestion model penalizes.
   std::vector<NodeId> tile_siblings(NodeId wire) const;
 
+  /// Allocation-free form of tile_siblings() for hot paths: invokes
+  /// `fn(sibling)` for each sibling in ascending id order. The W tracks of
+  /// a channel tile occupy consecutive node ids, so this is pure index
+  /// arithmetic — the vector overload above is kept for tests.
+  template <typename Fn>
+  void for_each_tile_sibling(NodeId wire, Fn&& fn) const {
+    const WireRef ref = wire_ref(wire);  // FPR_CHECKs is_wire(wire)
+    const NodeId first = wire - static_cast<NodeId>(ref.track);
+    for (int t = 0; t < spec_.channel_width; ++t) {
+      const NodeId v = first + static_cast<NodeId>(t);
+      if (v != wire) fn(v);
+    }
+  }
+
   int block_count() const { return block_count_; }
   int wire_count() const { return graph_.node_count() - block_count_; }
 
@@ -102,10 +132,16 @@ class Device {
   bool has_faults() const { return faults_ != nullptr && !faults_->empty(); }
 
   /// Restores every node/edge to active and every weight to the base 1.0,
-  /// then re-applies the installed faults (if any).
+  /// then re-applies the installed faults (if any). O(touched state), not
+  /// O(V + E): the graph records which elements each pass mutated and only
+  /// those are replayed — in the exact ascending-id order the historical
+  /// full-scan reset used, so the resulting state (weights, activity,
+  /// aggregate float trajectories) is bit-identical to it.
   void reset();
 
  private:
+  void build_legacy();
+
   ArchSpec spec_;
   Graph graph_;
   NodeId block_count_ = 0;

@@ -3,10 +3,11 @@
 #include "core/contract.hpp"
 
 #include "fpga/switchbox.hpp"
+#include "fpga/tile_template.hpp"
 
 namespace fpr {
 
-Device3d::Device3d(const Arch3dSpec& spec) : spec_(spec) {
+Device3d::Device3d(const Arch3dSpec& spec, DeviceBuild build) : spec_(spec) {
   FPR_CHECK(spec.valid(), "Device3D spec with " << spec.layers
                               << " layers — layers >= 1 and a valid per-layer spec required");
   const ArchSpec& a = spec_.layer;
@@ -18,6 +19,26 @@ Device3d::Device3d(const Arch3dSpec& spec) : spec_(spec) {
   hwire_base_ = blocks_per_layer_;
   vwire_base_ = blocks_per_layer_ + hwires;
   per_layer_nodes_ = blocks_per_layer_ + hwires + vwires;
+
+  std::shared_ptr<const TiledTopology> topo;
+  if (build == DeviceBuild::kAuto) topo = tiled_topology_for(spec_);
+  if (topo != nullptr) {
+    FPR_CHECK(topo->node_count == per_layer_nodes_ * spec_.layers,
+              "3-D tile template synthesized " << topo->node_count << " nodes for a device of "
+                                               << per_layer_nodes_ * spec_.layers);
+    graph_ = Graph::from_tiled(std::move(topo));
+    // The via pass emits one track-aligned via per w tracks, every
+    // via_spacing-th horizontal channel tile, between adjacent layers.
+    via_count_ = (spec_.layers - 1) * (rows + 1) *
+                 ((cols + spec_.via_spacing - 1) / spec_.via_spacing) * w;
+    return;
+  }
+  build_legacy();
+}
+
+void Device3d::build_legacy() {
+  const ArchSpec& a = spec_.layer;
+  const int rows = a.rows, cols = a.cols, w = a.channel_width;
   graph_.add_nodes(per_layer_nodes_ * spec_.layers);
 
   // Fc evenly spaced track indices.

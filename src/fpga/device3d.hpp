@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "fpga/arch.hpp"
+#include "fpga/device.hpp"
 #include "graph/graph.hpp"
 
 namespace fpr {
@@ -27,11 +28,14 @@ struct Arch3dSpec {
 
 class Device3d {
  public:
-  explicit Device3d(const Arch3dSpec& spec);
+  explicit Device3d(const Arch3dSpec& spec, DeviceBuild build = DeviceBuild::kAuto);
 
   const Arch3dSpec& spec() const { return spec_; }
   Graph& graph() { return graph_; }
   const Graph& graph() const { return graph_; }
+
+  /// True when the graph was stamped from a tile template.
+  bool tiled() const { return graph_.tiled(); }
 
   enum class Dir { kHorizontal, kVertical };
 
@@ -47,6 +51,8 @@ class Device3d {
   int via_count() const { return via_count_; }
 
  private:
+  void build_legacy();
+
   Arch3dSpec spec_;
   Graph graph_;
   NodeId per_layer_nodes_ = 0;

@@ -21,7 +21,11 @@ class Device;
 /// sweep records stay byte-identical across platforms. Sampling is
 /// per-element splitmix64 hashing (core/rng.hpp) keyed by (seed, salt,
 /// element id): whether a given wire or switch is dead depends only on the
-/// spec and the element's id, never on iteration order.
+/// spec and the element's id, never on iteration order. That id-keying is
+/// also what makes draws builder-independent: the tile-template stamper
+/// (DESIGN.md §12) assigns every node and edge the same id the legacy
+/// per-element builder did, so a spec induces the identical defect set on
+/// a stamped device — pinned by the device differential suite.
 struct FaultSpec {
   std::uint64_t seed = 1;
   int wire_permille = 0;    // stuck-open wire segments (per-mille of wire nodes)

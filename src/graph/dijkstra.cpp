@@ -121,55 +121,85 @@ void dijkstra_impl(const Graph& g, NodeId source, std::span<const NodeId> target
   // settle event to derive a radius from: run explicitly unbounded, exactly
   // like a plain dijkstra() call.
 
-  const CsrAdjacency& csr = g.csr();
-  const EdgeId* offsets = csr.offsets.data();
-  const NodeId* neighbor = csr.neighbor.data();
-  const EdgeId* edge_id = csr.edge_id.data();
-  const Weight* weight = csr.weight.data();
   arena.relax(source, 0, kInvalidNode, kInvalidEdge);
 
   Weight limit = kInfiniteWeight;  // becomes finite once all targets settle
   bool stopped_early = false;
   Weight stop_d = 0;
   NodeId stop_node = kInvalidNode;
-  while (!arena.heap_empty()) {
-    const NodeId u = arena.heap_min();
-    const Weight d = arena.heap_min_key();
-    if (d > limit) {
-      stopped_early = true;
-      stop_d = d;
-      stop_node = u;
-      break;
-    }
-    if (budget != nullptr && !budget->charge()) {
-      // Budget spent: u is NOT settled (its label may still be tentative).
-      // (d, u) is the heap minimum, so the derived settled set is exactly
-      // the nodes expanded before the abort — deterministic for a given
-      // budget regardless of platform or thread count.
-      stopped_early = true;
-      out.budget_aborted = true;
-      stop_d = d;
-      stop_node = u;
-      break;
-    }
-    arena.heap_pop_min();
-    if (pending_count > 0 && arena.pending(u)) {
-      arena.clear_pending(u);
-      if (--pending_count == 0) {
-        limit = radius_factor * d + slack;
+  // Settle loop, generic over the adjacency backend. Both backends relax a
+  // settled node's edges in ascending edge-id order (CSR slice order ==
+  // incident-list order == tiled slot order), so the two produce
+  // bit-identical trees.
+  const auto run = [&](auto&& relax_neighbors) {
+    while (!arena.heap_empty()) {
+      const NodeId u = arena.heap_min();
+      const Weight d = arena.heap_min_key();
+      if (d > limit) {
+        stopped_early = true;
+        stop_d = d;
+        stop_node = u;
+        break;
       }
-    }
-    const EdgeId begin = offsets[static_cast<std::size_t>(u)];
-    const EdgeId end = offsets[static_cast<std::size_t>(u) + 1];
-    for (EdgeId k = begin; k < end; ++k) {
-      const NodeId v = neighbor[static_cast<std::size_t>(k)];
-      // Unusable edges carry kInfiniteWeight here, so they can never pass
-      // the strict-improvement test — no explicit usability branch needed.
-      const Weight nd = d + weight[static_cast<std::size_t>(k)];
-      if (nd < arena.dist(v)) {
-        arena.relax(v, nd, u, edge_id[static_cast<std::size_t>(k)]);
+      if (budget != nullptr && !budget->charge()) {
+        // Budget spent: u is NOT settled (its label may still be tentative).
+        // (d, u) is the heap minimum, so the derived settled set is exactly
+        // the nodes expanded before the abort — deterministic for a given
+        // budget regardless of platform or thread count.
+        stopped_early = true;
+        out.budget_aborted = true;
+        stop_d = d;
+        stop_node = u;
+        break;
       }
+      arena.heap_pop_min();
+      if (pending_count > 0 && arena.pending(u)) {
+        arena.clear_pending(u);
+        if (--pending_count == 0) {
+          limit = radius_factor * d + slack;
+        }
+      }
+      relax_neighbors(u, d);
     }
+  };
+  if (g.tiled()) {
+    // Tiled backend: adjacency is synthesized arithmetically from the tile
+    // template — no CSR snapshot is ever built, which is most of the tiled
+    // representation's memory win. Usability is an explicit activity test
+    // here (the materialized path folds it into an infinite weight).
+    const Graph::TiledView tv = g.tiled_view();
+    const TiledTopology* topo = tv.topo;
+    run([&](NodeId u, Weight d) {
+      topo->for_each_slot(u, [&](NodeId v, EdgeId e, const TiledSlot&) {
+        if (tv.edge_active[static_cast<std::size_t>(e)] == 0 ||
+            tv.node_active[static_cast<std::size_t>(v)] == 0) {
+          return;
+        }
+        const Weight nd = d + tv.weight[static_cast<std::size_t>(e)];
+        if (nd < arena.dist(v)) {
+          arena.relax(v, nd, u, e);
+        }
+      });
+    });
+  } else {
+    const CsrAdjacency& csr = g.csr();
+    const EdgeId* offsets = csr.offsets.data();
+    const NodeId* neighbor = csr.neighbor.data();
+    const EdgeId* edge_id = csr.edge_id.data();
+    const Weight* weight = csr.weight.data();
+    run([&](NodeId u, Weight d) {
+      const EdgeId begin = offsets[static_cast<std::size_t>(u)];
+      const EdgeId end = offsets[static_cast<std::size_t>(u) + 1];
+      for (EdgeId k = begin; k < end; ++k) {
+        const NodeId v = neighbor[static_cast<std::size_t>(k)];
+        // Unusable edges carry kInfiniteWeight here, so they can never pass
+        // the strict-improvement test — no explicit usability branch needed.
+        const Weight nd = d + weight[static_cast<std::size_t>(k)];
+        if (nd < arena.dist(v)) {
+          arena.relax(v, nd, u, edge_id[static_cast<std::size_t>(k)]);
+        }
+      }
+    });
   }
   export_tree(arena, node_count, stopped_early, stop_d, stop_node, out);
   notify_footprint(arena);

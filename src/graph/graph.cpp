@@ -1,5 +1,7 @@
 #include "graph/graph.hpp"
 
+#include <utility>
+
 #include "core/contract.hpp"
 
 namespace fpr {
@@ -9,12 +11,21 @@ Graph::Graph(NodeId node_count) { add_nodes(node_count); }
 void Graph::copy_logical_state(const Graph& other) {
   edges_ = other.edges_;
   incident_ = other.incident_;
+  traversal_weight_ = other.traversal_weight_;
+  topo_ = other.topo_;
+  tiled_weight_ = other.tiled_weight_;
+  tiled_edge_active_ = other.tiled_edge_active_;
+  tiled_lower_end_ = other.tiled_lower_end_;
   node_active_ = other.node_active_;
   revision_ = other.revision_;
   structural_revision_ = other.structural_revision_;
   usable_edges_ = other.usable_edges_;
   usable_weight_sum_ = other.usable_weight_sum_;
-  traversal_weight_ = other.traversal_weight_;
+  track_touched_ = other.track_touched_;
+  node_dirty_ = other.node_dirty_;
+  edge_dirty_ = other.edge_dirty_;
+  touched_nodes_ = other.touched_nodes_;
+  touched_edges_ = other.touched_edges_;
   csr_structural_.store(kCsrStale, std::memory_order_relaxed);
 }
 
@@ -28,12 +39,21 @@ Graph& Graph::operator=(const Graph& other) {
 Graph::Graph(Graph&& other) noexcept
     : edges_(std::move(other.edges_)),
       incident_(std::move(other.incident_)),
+      traversal_weight_(std::move(other.traversal_weight_)),
+      topo_(std::move(other.topo_)),
+      tiled_weight_(std::move(other.tiled_weight_)),
+      tiled_edge_active_(std::move(other.tiled_edge_active_)),
+      tiled_lower_end_(std::move(other.tiled_lower_end_)),
       node_active_(std::move(other.node_active_)),
       revision_(other.revision_),
       structural_revision_(other.structural_revision_),
       usable_edges_(other.usable_edges_),
       usable_weight_sum_(other.usable_weight_sum_),
-      traversal_weight_(std::move(other.traversal_weight_)) {
+      track_touched_(other.track_touched_),
+      node_dirty_(std::move(other.node_dirty_)),
+      edge_dirty_(std::move(other.edge_dirty_)),
+      touched_nodes_(std::move(other.touched_nodes_)),
+      touched_edges_(std::move(other.touched_edges_)) {
   csr_structural_.store(kCsrStale, std::memory_order_relaxed);
 }
 
@@ -41,22 +61,131 @@ Graph& Graph::operator=(Graph&& other) noexcept {
   if (this != &other) {
     edges_ = std::move(other.edges_);
     incident_ = std::move(other.incident_);
+    traversal_weight_ = std::move(other.traversal_weight_);
+    topo_ = std::move(other.topo_);
+    tiled_weight_ = std::move(other.tiled_weight_);
+    tiled_edge_active_ = std::move(other.tiled_edge_active_);
+    tiled_lower_end_ = std::move(other.tiled_lower_end_);
     node_active_ = std::move(other.node_active_);
     revision_ = other.revision_;
     structural_revision_ = other.structural_revision_;
     usable_edges_ = other.usable_edges_;
     usable_weight_sum_ = other.usable_weight_sum_;
-    traversal_weight_ = std::move(other.traversal_weight_);
+    track_touched_ = other.track_touched_;
+    node_dirty_ = std::move(other.node_dirty_);
+    edge_dirty_ = std::move(other.edge_dirty_);
+    touched_nodes_ = std::move(other.touched_nodes_);
+    touched_edges_ = std::move(other.touched_edges_);
     csr_structural_.store(kCsrStale, std::memory_order_relaxed);
   }
   return *this;
 }
 
+Graph Graph::from_tiled(std::shared_ptr<const TiledTopology> topo) {
+  FPR_CHECK(topo != nullptr, "from_tiled(nullptr)");
+  topo->validate();
+  Graph g;
+  const NodeId n = topo->node_count;
+  const EdgeId m = topo->edge_count;
+  g.node_active_.assign(static_cast<std::size_t>(n), 1);
+  g.tiled_weight_.assign(static_cast<std::size_t>(m), 0);
+  g.tiled_edge_active_.assign(static_cast<std::size_t>(m), 1);
+  g.tiled_lower_end_.assign(static_cast<std::size_t>(m), kInvalidNode);
+
+  // Stamping pass: one tile-row-at-a-time walk over every synthesized slot.
+  // Each edge must be emitted by exactly two nodes — its smaller endpoint
+  // first in node order — with matching base weights; together with the
+  // range checks this proves the template's id arithmetic covers [0, m)
+  // exactly, so the traversal backend can index state arrays unchecked.
+  std::int64_t applied = 0;
+  topo->for_each_node([&](NodeId v, const TiledTopology::Decoded& d) {
+    topo->apply(d, [&](NodeId nbr, EdgeId e, const TiledSlot& slot) {
+      FPR_CHECK(nbr >= 0 && nbr < n,
+                "tiled template: node " << v << " synthesizes neighbor " << nbr
+                                        << " outside [0, " << n << ")");
+      FPR_CHECK(nbr != v, "tiled template: self-loop at node " << v);
+      FPR_CHECK(e >= 0 && e < m, "tiled template: node " << v << " synthesizes edge " << e
+                                                         << " outside [0, " << m << ")");
+      NodeId& lower = g.tiled_lower_end_[static_cast<std::size_t>(e)];
+      if (v < nbr) {
+        FPR_CHECK(lower == kInvalidNode,
+                  "tiled template: edge " << e << " emitted twice as a lower endpoint (nodes "
+                                          << lower << " and " << v << ")");
+        lower = v;
+        g.tiled_weight_[static_cast<std::size_t>(e)] = slot.base_weight;
+      } else {
+        FPR_CHECK(lower == nbr, "tiled template: edge " << e << " endpoints disagree (" << v
+                                                        << " expected lower end " << nbr
+                                                        << ", recorded " << lower << ")");
+        FPR_CHECK(g.tiled_weight_[static_cast<std::size_t>(e)] == slot.base_weight,
+                  "tiled template: edge " << e << " base weight mismatch between endpoints");
+      }
+      ++applied;
+    });
+  });
+  FPR_CHECK(applied == static_cast<std::int64_t>(m) * 2,
+            "tiled template: " << applied << " slot applications for " << m
+                               << " edges (expected exactly 2 per edge)");
+  for (EdgeId e = 0; e < m; ++e) {
+    FPR_CHECK(g.tiled_lower_end_[static_cast<std::size_t>(e)] != kInvalidNode,
+              "tiled template: edge id " << e << " is never emitted");
+  }
+
+  g.usable_edges_ = m;
+  g.usable_weight_sum_ = 0;
+  for (EdgeId e = 0; e < m; ++e) {
+    g.usable_weight_sum_ += g.tiled_weight_[static_cast<std::size_t>(e)];
+  }
+  g.topo_ = std::move(topo);
+  g.revision_ = 1;
+  g.structural_revision_ = 1;
+  return g;
+}
+
+void Graph::materialize() {
+  if (topo_ == nullptr) return;
+  const std::shared_ptr<const TiledTopology> topo = std::move(topo_);
+  topo_ = nullptr;
+  const auto n = static_cast<std::size_t>(topo->node_count);
+  const auto m = static_cast<std::size_t>(topo->edge_count);
+  edges_.assign(m, Edge{});
+  incident_.assign(n, {});
+  traversal_weight_.assign(m, kInfiniteWeight);
+  // Node-major walk reproduces the materialized invariants exactly:
+  // incident lists in ascending edge order, each edge's `u` its smaller
+  // (first-emitted) endpoint.
+  topo->for_each_node([&](NodeId v, const TiledTopology::Decoded& d) {
+    topo->apply(d, [&](NodeId nbr, EdgeId e, const TiledSlot&) {
+      incident_[static_cast<std::size_t>(v)].push_back(e);
+      if (v < nbr) {
+        Edge& ed = edges_[static_cast<std::size_t>(e)];
+        ed.u = v;
+        ed.v = nbr;
+        ed.weight = tiled_weight_[static_cast<std::size_t>(e)];
+        ed.active = tiled_edge_active_[static_cast<std::size_t>(e)] != 0;
+        if (ed.active && node_active(v) && node_active(nbr)) {
+          traversal_weight_[static_cast<std::size_t>(e)] = ed.weight;
+        }
+      }
+    });
+  });
+  tiled_weight_.clear();
+  tiled_weight_.shrink_to_fit();
+  tiled_edge_active_.clear();
+  tiled_edge_active_.shrink_to_fit();
+  tiled_lower_end_.clear();
+  tiled_lower_end_.shrink_to_fit();
+  // The logical graph is unchanged, so a published CSR snapshot (stamped
+  // from the same template) remains valid; revisions stay put.
+}
+
 NodeId Graph::add_nodes(NodeId count) {
   FPR_CHECK(count >= 0, "add_nodes count=" << count << " must be non-negative");
+  materialize();
   const NodeId first = node_count();
   incident_.resize(incident_.size() + static_cast<std::size_t>(count));
   node_active_.resize(node_active_.size() + static_cast<std::size_t>(count), 1);
+  if (track_touched_) node_dirty_.resize(node_active_.size(), 0);
   ++revision_;
   ++structural_revision_;
   return first;
@@ -71,6 +200,7 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
                         << " — self-loops are never useful in a routing graph");
   FPR_CHECK(w >= 0, "add_edge {" << u << ", " << v << "} weight " << w
                         << " — routing costs are non-negative");
+  materialize();
   const EdgeId id = edge_count();
   edges_.push_back(Edge{u, v, w, true});
   incident_[static_cast<std::size_t>(u)].push_back(id);
@@ -81,9 +211,49 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
     ++usable_edges_;
     usable_weight_sum_ += w;
   }
+  if (track_touched_) edge_dirty_.resize(edges_.size(), 0);
   ++revision_;
   ++structural_revision_;
   return id;
+}
+
+Graph::Edge Graph::tiled_edge(EdgeId e) const {
+  FPR_CHECK(e >= 0 && e < edge_count(),
+            "edge " << e << " outside edge range [0, " << edge_count() << ")");
+  Edge ed;
+  ed.u = tiled_lower_end_[static_cast<std::size_t>(e)];
+  ed.v = tiled_upper_end(e);
+  ed.weight = tiled_weight_[static_cast<std::size_t>(e)];
+  ed.active = tiled_edge_active_[static_cast<std::size_t>(e)] != 0;
+  return ed;
+}
+
+NodeId Graph::tiled_upper_end(EdgeId e) const {
+  const NodeId u = tiled_lower_end_[static_cast<std::size_t>(e)];
+  NodeId found = kInvalidNode;
+  topo_->for_each_slot(u, [&](NodeId nbr, EdgeId slot_e, const TiledSlot&) {
+    if (slot_e == e) found = nbr;
+  });
+  FPR_CHECK(found != kInvalidNode,
+            "tiled edge " << e << ": recorded endpoint " << u << " does not emit it");
+  return found;
+}
+
+bool Graph::tiled_edge_usable(EdgeId e) const {
+  if (!tiled_edge_active_[static_cast<std::size_t>(e)]) return false;
+  const NodeId u = tiled_lower_end_[static_cast<std::size_t>(e)];
+  if (!node_active(u)) return false;
+  return node_active(tiled_upper_end(e));
+}
+
+std::span<const EdgeId> Graph::tiled_incident_edges(NodeId v) const {
+  // Thread-local scratch: concurrent speculative routes synthesize incident
+  // lists on the shared device graph, each thread into its own buffer. The
+  // span is valid until this thread's next call (documented in graph.hpp).
+  static thread_local std::vector<EdgeId> scratch;
+  scratch.clear();
+  topo_->for_each_slot(v, [&](NodeId, EdgeId e, const TiledSlot&) { scratch.push_back(e); });
+  return scratch;
 }
 
 void Graph::sync_csr_weight(EdgeId e, Weight w) {
@@ -116,6 +286,17 @@ void Graph::set_edge_weight(EdgeId e, Weight w) {
             "set_edge_weight edge " << e << " outside edge range [0, " << edge_count() << ")");
   FPR_CHECK(w >= 0, "set_edge_weight edge " << e << " to " << w
                         << " — routing costs are non-negative");
+  mark_edge_touched(e);
+  if (topo_ != nullptr) {
+    Weight& cur = tiled_weight_[static_cast<std::size_t>(e)];
+    if (tiled_edge_usable(e)) {
+      usable_weight_sum_ += w - cur;
+      sync_csr_weight(e, w);
+    }
+    cur = w;
+    ++revision_;
+    return;
+  }
   auto& ed = edges_[static_cast<std::size_t>(e)];
   if (traversal_weight_[static_cast<std::size_t>(e)] != kInfiniteWeight) {
     usable_weight_sum_ += w - ed.weight;
@@ -129,6 +310,19 @@ void Graph::set_edge_weight(EdgeId e, Weight w) {
 void Graph::add_edge_weight(EdgeId e, Weight delta) {
   FPR_CHECK(e >= 0 && e < edge_count(),
             "add_edge_weight edge " << e << " outside edge range [0, " << edge_count() << ")");
+  mark_edge_touched(e);
+  if (topo_ != nullptr) {
+    Weight& cur = tiled_weight_[static_cast<std::size_t>(e)];
+    FPR_CHECK(cur + delta >= 0, "add_edge_weight edge " << e << " (weight " << cur << ") by "
+                                    << delta << " would make the routing cost negative");
+    cur += delta;
+    if (tiled_edge_usable(e)) {
+      usable_weight_sum_ += delta;
+      sync_csr_weight(e, cur);
+    }
+    ++revision_;
+    return;
+  }
   auto& ed = edges_[static_cast<std::size_t>(e)];
   FPR_CHECK(ed.weight + delta >= 0, "add_edge_weight edge " << e << " (weight " << ed.weight
                                         << ") by " << delta
@@ -143,12 +337,38 @@ void Graph::add_edge_weight(EdgeId e, Weight delta) {
 }
 
 void Graph::remove_edge(EdgeId e) {
+  mark_edge_touched(e);
+  if (topo_ != nullptr) {
+    char& act = tiled_edge_active_[static_cast<std::size_t>(e)];
+    if (act != 0 && tiled_edge_usable(e)) {
+      --usable_edges_;
+      usable_weight_sum_ -= tiled_weight_[static_cast<std::size_t>(e)];
+      sync_csr_weight(e, kInfiniteWeight);
+    }
+    act = 0;
+    ++revision_;
+    return;
+  }
   edges_[static_cast<std::size_t>(e)].active = false;
   sync_edge_usability(e, false);
   ++revision_;
 }
 
 void Graph::restore_edge(EdgeId e) {
+  mark_edge_touched(e);
+  if (topo_ != nullptr) {
+    char& act = tiled_edge_active_[static_cast<std::size_t>(e)];
+    if (act == 0) {
+      act = 1;
+      if (tiled_edge_usable(e)) {
+        ++usable_edges_;
+        usable_weight_sum_ += tiled_weight_[static_cast<std::size_t>(e)];
+        sync_csr_weight(e, tiled_weight_[static_cast<std::size_t>(e)]);
+      }
+    }
+    ++revision_;
+    return;
+  }
   auto& ed = edges_[static_cast<std::size_t>(e)];
   ed.active = true;
   sync_edge_usability(e, node_active(ed.u) && node_active(ed.v));
@@ -157,9 +377,23 @@ void Graph::restore_edge(EdgeId e) {
 
 void Graph::remove_node(NodeId v) {
   if (node_active_[static_cast<std::size_t>(v)]) {
+    mark_node_touched(v);
     node_active_[static_cast<std::size_t>(v)] = 0;
-    for (const EdgeId e : incident_[static_cast<std::size_t>(v)]) {
-      sync_edge_usability(e, false);
+    if (topo_ != nullptr) {
+      // v was active, so each incident edge was usable iff it is active and
+      // its far endpoint is; slot order is ascending edge id, matching the
+      // materialized incident-list order (and its float-sum trajectory).
+      topo_->for_each_slot(v, [&](NodeId nbr, EdgeId e, const TiledSlot&) {
+        if (tiled_edge_active_[static_cast<std::size_t>(e)] != 0 && node_active(nbr)) {
+          --usable_edges_;
+          usable_weight_sum_ -= tiled_weight_[static_cast<std::size_t>(e)];
+          sync_csr_weight(e, kInfiniteWeight);
+        }
+      });
+    } else {
+      for (const EdgeId e : incident_[static_cast<std::size_t>(v)]) {
+        sync_edge_usability(e, false);
+      }
     }
   }
   ++revision_;
@@ -167,12 +401,38 @@ void Graph::remove_node(NodeId v) {
 
 void Graph::restore_node(NodeId v) {
   if (!node_active_[static_cast<std::size_t>(v)]) {
+    mark_node_touched(v);
     node_active_[static_cast<std::size_t>(v)] = 1;
-    for (const EdgeId e : incident_[static_cast<std::size_t>(v)]) {
-      sync_edge_usability(e, edge_usable(e));
+    if (topo_ != nullptr) {
+      topo_->for_each_slot(v, [&](NodeId nbr, EdgeId e, const TiledSlot&) {
+        if (tiled_edge_active_[static_cast<std::size_t>(e)] != 0 && node_active(nbr)) {
+          ++usable_edges_;
+          usable_weight_sum_ += tiled_weight_[static_cast<std::size_t>(e)];
+          sync_csr_weight(e, tiled_weight_[static_cast<std::size_t>(e)]);
+        }
+      });
+    } else {
+      for (const EdgeId e : incident_[static_cast<std::size_t>(v)]) {
+        sync_edge_usability(e, edge_usable(e));
+      }
     }
   }
   ++revision_;
+}
+
+void Graph::enable_touch_tracking() {
+  track_touched_ = true;
+  node_dirty_.assign(static_cast<std::size_t>(node_count()), 0);
+  edge_dirty_.assign(static_cast<std::size_t>(edge_count()), 0);
+  touched_nodes_.clear();
+  touched_edges_.clear();
+}
+
+void Graph::clear_touched() {
+  for (const NodeId v : touched_nodes_) node_dirty_[static_cast<std::size_t>(v)] = 0;
+  for (const EdgeId e : touched_edges_) edge_dirty_[static_cast<std::size_t>(e)] = 0;
+  touched_nodes_.clear();
+  touched_edges_.clear();
 }
 
 const CsrAdjacency& Graph::csr() const {
@@ -184,40 +444,83 @@ const CsrAdjacency& Graph::csr() const {
 void Graph::rebuild_csr(std::uint64_t want) const {
   MutexLock lock(csr_mu_);
   if (csr_structural_.load(std::memory_order_relaxed) != want) {
-    const auto n = static_cast<std::size_t>(node_count());
-    csr_.offsets.assign(n + 1, 0);
-    std::size_t total = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      csr_.offsets[v] = static_cast<EdgeId>(total);
-      total += incident_[v].size();
-    }
-    csr_.offsets[n] = static_cast<EdgeId>(total);
-    csr_.neighbor.resize(total);
-    csr_.edge_id.resize(total);
-    csr_.weight.resize(total);
-    csr_.slot.assign(static_cast<std::size_t>(edge_count()) * 2, kInvalidEdge);
-    std::size_t k = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      // Insertion order is preserved, matching incident_edges() — the
-      // deterministic-parent guarantee of dijkstra() relies on this.
-      for (const EdgeId e : incident_[v]) {
-        const Edge& ed = edges_[static_cast<std::size_t>(e)];
-        csr_.neighbor[k] = ed.u == static_cast<NodeId>(v) ? ed.v : ed.u;
-        csr_.edge_id[k] = e;
-        csr_.weight[k] = traversal_weight_[static_cast<std::size_t>(e)];
-        // Each edge occupies exactly two slots (no self-loops); remember
-        // both so weight mutations can patch them in place.
-        auto& first = csr_.slot[static_cast<std::size_t>(e) * 2];
-        if (first == kInvalidEdge) {
-          first = static_cast<EdgeId>(k);
-        } else {
-          csr_.slot[static_cast<std::size_t>(e) * 2 + 1] = static_cast<EdgeId>(k);
-        }
-        ++k;
-      }
+    if (topo_ != nullptr) {
+      rebuild_csr_tiled();
+    } else {
+      rebuild_csr_materialized();
     }
     csr_structural_.store(want, std::memory_order_release);
   }
+}
+
+void Graph::rebuild_csr_materialized() const {
+  const auto n = static_cast<std::size_t>(node_count());
+  csr_.offsets.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    csr_.offsets[v] = static_cast<EdgeId>(total);
+    total += incident_[v].size();
+  }
+  csr_.offsets[n] = static_cast<EdgeId>(total);
+  csr_.neighbor.resize(total);
+  csr_.edge_id.resize(total);
+  csr_.weight.resize(total);
+  csr_.slot.assign(static_cast<std::size_t>(edge_count()) * 2, kInvalidEdge);
+  std::size_t k = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    // Insertion order is preserved, matching incident_edges() — the
+    // deterministic-parent guarantee of dijkstra() relies on this.
+    for (const EdgeId e : incident_[v]) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      csr_.neighbor[k] = ed.u == static_cast<NodeId>(v) ? ed.v : ed.u;
+      csr_.edge_id[k] = e;
+      csr_.weight[k] = traversal_weight_[static_cast<std::size_t>(e)];
+      // Each edge occupies exactly two slots (no self-loops); remember
+      // both so weight mutations can patch them in place.
+      auto& first = csr_.slot[static_cast<std::size_t>(e) * 2];
+      if (first == kInvalidEdge) {
+        first = static_cast<EdgeId>(k);
+      } else {
+        csr_.slot[static_cast<std::size_t>(e) * 2 + 1] = static_cast<EdgeId>(k);
+      }
+      ++k;
+    }
+  }
+}
+
+void Graph::rebuild_csr_tiled() const {
+  // Stamped assembly: exact sizes up front, then one tile-row-at-a-time
+  // fill in node order — no incremental growth, no per-node vectors. The
+  // result is byte-identical to rebuild_csr_materialized() on the
+  // materialized equivalent (the differential suite pins this).
+  const auto n = static_cast<std::size_t>(node_count());
+  const std::size_t total = static_cast<std::size_t>(edge_count()) * 2;
+  csr_.offsets.assign(n + 1, 0);
+  csr_.neighbor.resize(total);
+  csr_.edge_id.resize(total);
+  csr_.weight.resize(total);
+  csr_.slot.assign(total, kInvalidEdge);
+  std::size_t k = 0;
+  topo_->for_each_node([&](NodeId v, const TiledTopology::Decoded& d) {
+    csr_.offsets[static_cast<std::size_t>(v)] = static_cast<EdgeId>(k);
+    const bool v_active = node_active_[static_cast<std::size_t>(v)] != 0;
+    topo_->apply(d, [&](NodeId nbr, EdgeId e, const TiledSlot&) {
+      csr_.neighbor[k] = nbr;
+      csr_.edge_id[k] = e;
+      const bool usable = v_active && tiled_edge_active_[static_cast<std::size_t>(e)] != 0 &&
+                          node_active_[static_cast<std::size_t>(nbr)] != 0;
+      csr_.weight[k] = usable ? tiled_weight_[static_cast<std::size_t>(e)] : kInfiniteWeight;
+      auto& first = csr_.slot[static_cast<std::size_t>(e) * 2];
+      if (first == kInvalidEdge) {
+        first = static_cast<EdgeId>(k);
+      } else {
+        csr_.slot[static_cast<std::size_t>(e) * 2 + 1] = static_cast<EdgeId>(k);
+      }
+      ++k;
+    });
+  });
+  FPR_CHECK(k == total, "tiled CSR stamp filled " << k << " of " << total << " slots");
+  csr_.offsets[n] = static_cast<EdgeId>(total);
 }
 
 }  // namespace fpr

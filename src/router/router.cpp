@@ -49,15 +49,15 @@ int commit_net(Device& device, const std::vector<EdgeId>& edges, double congesti
   }
   if (congestion_penalty > 0) {
     for (const NodeId w : wires) {
-      for (const NodeId sibling : device.tile_siblings(w)) {
-        if (!g.node_active(sibling)) continue;
+      device.for_each_tile_sibling(w, [&](NodeId sibling) {
+        if (!g.node_active(sibling)) return;
         for (const EdgeId e : g.incident_edges(sibling)) {
           if (g.edge_active(e)) {
             g.add_edge_weight(e, congestion_penalty);
             if (log) log->penalized.push_back(e);
           }
         }
-      }
+      });
     }
   }
   if (log) log->wires.insert(log->wires.end(), wires.begin(), wires.end());
@@ -589,7 +589,10 @@ void route_pass_waves(NetContext& ctx, const std::vector<std::size_t>& order,
 
     counters().parallel_waves.fetch_add(1, std::memory_order_relaxed);
     counters().nets_speculated.fetch_add(wave.size(), std::memory_order_relaxed);
-    device.graph().csr();  // publish the adjacency snapshot once, serially
+    // Publish the adjacency snapshot once, serially. A tiled graph's
+    // speculative searches synthesize adjacency from the template instead,
+    // so building (and paying the memory for) a CSR would be pure waste.
+    if (!device.graph().tiled()) device.graph().csr();
     pool.parallel_for(wave.size(), [&](std::size_t i) {
       speculate_net(device, ctx.circuit, ctx.options, wave[i]);
     });

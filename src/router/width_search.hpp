@@ -101,6 +101,15 @@ struct WidthSearchResult {
 /// empty range (`min_width > max_width` after clamping, or
 /// `max_width < 1`) returns `{status = kEmptyRange, min_width = -1}` with
 /// no attempts instead of probing nonsensical widths.
+///
+/// **Graph-build cost across probes.** Each probe constructs a fresh
+/// Device, but the tile-template cache (fpga/tile_template.hpp) is keyed
+/// by (family, width), so a width probed once — serially or by a
+/// speculative worker — compiles its template once and every later Device
+/// of that width stamps from the cached template in O(V + E) with no
+/// learning pass. Repeated width searches over the same family (the yield
+/// sweeps) converge to pure stamping, which is why probe cost is dominated
+/// by routing, not graph construction, even at large array sizes.
 WidthSearchResult find_min_channel_width(const ArchSpec& base, const Circuit& circuit,
                                          const RouterOptions& router_options,
                                          const WidthSearchOptions& search_options = {});
