@@ -3,6 +3,7 @@
 // Xilinx-style device at the given channel width, and report the outcome.
 //
 // Usage: route_cli <circuit.net> [width] [xc3000|xc4000] [ikmb|pfa|idom]
+//                  [paper|negotiated]
 // With no arguments it routes a built-in demo circuit.
 
 #include <cstdio>
@@ -46,9 +47,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("Routing '%s' (%zu nets) on %s with %s...\n", circuit.name.c_str(),
+  if (argc >= 6) {
+    const std::string mode = argv[5];
+    if (mode == "negotiated") options.mode = RouterMode::kNegotiated;
+    else if (mode != "paper") {
+      std::fprintf(stderr, "error: unknown router mode '%s'\n", mode.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("Routing '%s' (%zu nets) on %s with %s (%s mode)...\n", circuit.name.c_str(),
               circuit.nets.size(), arch.describe().c_str(),
-              algorithm_name(options.algorithm).data());
+              algorithm_name(options.algorithm).data(),
+              router_mode_name(options.mode).data());
   Device device(arch);
   const RoutingResult result = route_circuit(device, circuit, options);
   if (!result.success) {
@@ -57,6 +68,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("SUCCESS in %d pass(es)\n", result.passes);
+  if (options.mode == RouterMode::kNegotiated && result.pattern_attempts > 0) {
+    std::printf("  pattern fast path:      %lld of %lld two-pin probes accepted\n",
+                result.pattern_accepts, result.pattern_attempts);
+  }
   std::printf("  wire segments used:     %d of %d\n", result.total_wire_nodes,
               device.wire_count());
   std::printf("  physical wirelength:    %ld hops\n", result.total_physical_wirelength);

@@ -14,12 +14,13 @@ namespace fpr::check {
 
 namespace {
 
-constexpr std::array<Oracle, 5> kOracles{
+constexpr std::array<Oracle, 6> kOracles{
     Oracle::kTreeValidity,
     Oracle::kApproxBound,
     Oracle::kMonotonic,
     Oracle::kFeasibility,
     Oracle::kFaults,
+    Oracle::kNegotiate,
 };
 
 /// Validity fuzzes every construction including the exact solvers (whose
@@ -51,6 +52,7 @@ CheckResult run_tree_oracle(Oracle oracle, const TreeCase& c, int max_terminals)
       return check_iterated_monotonicity(g, net);
     case Oracle::kFeasibility:
     case Oracle::kFaults:
+    case Oracle::kNegotiate:
       break;  // not tree-level oracles
   }
   CheckResult r;
@@ -70,7 +72,7 @@ CheckResult run_circuit_oracle(const CircuitCase& c) {
 }
 
 bool is_circuit_oracle(Oracle o) {
-  return o == Oracle::kFeasibility || o == Oracle::kFaults;
+  return o == Oracle::kFeasibility || o == Oracle::kFaults || o == Oracle::kNegotiate;
 }
 
 void persist_failure(FuzzFailure& f, const FuzzOptions& options) {
@@ -100,6 +102,7 @@ std::string_view oracle_name(Oracle o) {
     case Oracle::kMonotonic: return "monotonic";
     case Oracle::kFeasibility: return "feasibility";
     case Oracle::kFaults: return "faults";
+    case Oracle::kNegotiate: return "negotiate";
   }
   return "?";
 }
@@ -144,8 +147,9 @@ FuzzReport fuzz(const FuzzOptions& options) {
       CheckResult result;
       std::string case_line;
       if (is_circuit_oracle(oracle)) {
-        CircuitCase c = oracle == Oracle::kFaults ? generate_fault_circuit_case(case_seed)
-                                                  : generate_circuit_case(case_seed);
+        CircuitCase c = oracle == Oracle::kFaults      ? generate_fault_circuit_case(case_seed)
+                        : oracle == Oracle::kNegotiate ? generate_negotiated_circuit_case(case_seed)
+                                                       : generate_circuit_case(case_seed);
         if (!options.algorithms.empty()) {
           c.algorithm = options.algorithms[mix64(case_seed, 0x5eed) % options.algorithms.size()];
         }

@@ -21,6 +21,10 @@ enum class Oracle {
   kFeasibility,   // RoutingResult replay on a fresh device
   kFaults,        // feasibility replay on a fault-injected device: routed
                   // nets avoid defects, degradation stats are consistent
+  kNegotiate,     // feasibility replay of negotiated-mode runs: all shared
+                  // checks plus the convergence contract (monotone overflow
+                  // trend, zero final overflow on success, no paper-mode
+                  // retry machinery engaged)
 };
 
 std::string_view oracle_name(Oracle o);

@@ -167,6 +167,14 @@ RouterOptions CircuitCase::router_options() const {
   o.max_passes = 8;
   o.node_budget = node_budget;
   o.threads = threads;
+  if (negotiated) {
+    o.mode = RouterMode::kNegotiated;
+    // Negotiated mode routes whole nets only; a parsed line carrying both
+    // knobs routes negotiated (the mode key is the later, more specific
+    // intent). Same wall-clock bound rationale as max_passes above.
+    o.decompose_two_pin = false;
+    o.negotiate_passes = 8;
+  }
   return o;
 }
 
@@ -177,6 +185,21 @@ std::string CircuitCase::describe() const {
      << "," << nets_4_10 << "," << nets_over_10 << " synth_seed=" << synth_seed
      << " algo=" << algorithm_name(algorithm) << " decompose=" << (decompose_two_pin ? 1 : 0);
   if (threads != 1) os << " threads=" << threads;
+  // Non-default fields are emitted only when set so historical repro lines
+  // round-trip byte-identically. The fault/budget keys were parsed but
+  // never emitted before this block existed — a fault-oracle repro line
+  // silently dropped its defect distribution on persist.
+  const FaultSpec defaults{};
+  if (faults.seed != defaults.seed) os << " fault_seed=" << faults.seed;
+  if (faults.wire_permille != 0) os << " fault_wires=" << faults.wire_permille;
+  if (faults.switch_permille != 0) os << " fault_switches=" << faults.switch_permille;
+  if (faults.pin_permille != 0) os << " fault_pins=" << faults.pin_permille;
+  if (faults.clusters != 0) os << " fault_clusters=" << faults.clusters;
+  if (faults.cluster_radius != defaults.cluster_radius) {
+    os << " fault_radius=" << faults.cluster_radius;
+  }
+  if (node_budget != 0) os << " budget=" << node_budget;
+  if (negotiated) os << " mode=negotiated";
   return os.str();
 }
 
@@ -223,6 +246,9 @@ std::optional<CircuitCase> CircuitCase::parse(const std::string& line) {
       c.node_budget = std::stoll(value);
     } else if (key == "threads") {
       c.threads = std::stoi(value);
+    } else if (key == "mode") {
+      if (value != "negotiated" && value != "paper") return std::nullopt;
+      c.negotiated = value == "negotiated";
     }
   }
   if (c.rows < 1 || c.cols < 1 || c.width < 1) return std::nullopt;
@@ -285,6 +311,14 @@ CircuitCase generate_circuit_case(std::uint64_t case_seed) {
     c.nets_4_10 = rng.range(0, 1);
     c.nets_over_10 = 0;
   }
+  // A quarter of cases route in negotiated mode, so the general feasibility
+  // oracle continuously replays both congestion strategies (the dedicated
+  // negotiate oracle adds the contention-heavy distribution on top).
+  // Appended last like the draws above.
+  if (rng.below(4) == 0) {
+    c.negotiated = true;
+    c.decompose_two_pin = false;  // negotiated mode routes whole nets only
+  }
   return c;
 }
 
@@ -302,6 +336,27 @@ CircuitCase generate_fault_circuit_case(std::uint64_t case_seed) {
   // Occasionally strangle the router mid-circuit: the oracle must hold for
   // partial budget-aborted results too.
   if (rng.below(4) == 0) c.node_budget = 20'000 + 1000 * rng.range(0, 40);
+  return c;
+}
+
+CircuitCase generate_negotiated_circuit_case(std::uint64_t case_seed) {
+  CircuitCase c = generate_circuit_case(case_seed);
+  Rng rng(mix64(case_seed, salt64("negotiate-case")));
+  c.negotiated = true;
+  c.decompose_two_pin = false;  // negotiated mode routes whole nets only
+  // Narrower channels than the base draw (6-10): negotiation is only
+  // interesting when early passes actually share wires, and a roomy channel
+  // converges on pass 1 without ever pricing anything.
+  c.width = rng.range(4, 7);
+  if (rng.below(4) == 0) {
+    // Lighter fault rates than the fault generator: the negotiated loop has
+    // no retry ladder, so heavily shredded devices mostly measure the
+    // fault-blocked classifier instead of the negotiation contract.
+    c.faults.seed = rng.next();
+    c.faults.wire_permille = rng.range(0, 40);
+    c.faults.switch_permille = rng.range(0, 40);
+  }
+  if (rng.below(8) == 0) c.node_budget = 20'000 + 1000 * rng.range(0, 40);
   return c;
 }
 

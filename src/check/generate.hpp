@@ -86,6 +86,12 @@ struct CircuitCase {
   /// Serialized only when non-default.
   int threads = 1;
 
+  /// Route in RouterMode::kNegotiated instead of paper mode. Negotiated
+  /// probes route whole nets (router_options() forces decompose off) and
+  /// the feasibility oracle applies the convergence-contract checks on top
+  /// of the shared ones. Serialized only when set ("mode=negotiated").
+  bool negotiated = false;
+
   ArchSpec arch() const;
   Circuit circuit() const;
   RouterOptions router_options() const;
@@ -104,6 +110,12 @@ CircuitCase generate_circuit_case(std::uint64_t case_seed);
 /// budget) layered on top of generate_circuit_case — the fault oracle's
 /// generator.
 CircuitCase generate_fault_circuit_case(std::uint64_t case_seed);
+
+/// A negotiated-mode circuit case: generate_circuit_case re-targeted at the
+/// negotiation loop (narrower channels so passes actually contend, a slice
+/// with faults, a slice with a work budget) — the negotiate oracle's
+/// generator.
+CircuitCase generate_negotiated_circuit_case(std::uint64_t case_seed);
 
 /// Inverse of algorithm_name() over every Algorithm (heuristics + exact).
 std::optional<Algorithm> algorithm_from_name(std::string_view name);

@@ -464,6 +464,65 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
   if (blocked > 0 && (faults == nullptr || !faults->any())) {
     r.fail("kBlockedByFault nets reported on a device with no installed faults");
   }
+
+  // Mode contracts. Negotiated runs carry the convergence record (DESIGN.md
+  // §13) and never engage paper-mode retry machinery; paper runs must not
+  // leak negotiated-mode fields.
+  if (options.mode == RouterMode::kNegotiated) {
+    if (result.overflow_trend.empty()) {
+      r.fail("negotiated run with an empty overflow_trend");
+    } else {
+      if (static_cast<int>(result.overflow_trend.size()) != result.passes) {
+        std::ostringstream os;
+        os << "overflow_trend has " << result.overflow_trend.size() << " entries for "
+           << result.passes << " passes";
+        r.fail(os.str());
+      }
+      for (std::size_t i = 1; i < result.overflow_trend.size(); ++i) {
+        if (result.overflow_trend[i] > result.overflow_trend[i - 1]) {
+          std::ostringstream os;
+          os << "overflow_trend not monotone non-increasing at pass " << i + 1 << " ("
+             << result.overflow_trend[i - 1] << " -> " << result.overflow_trend[i] << ")";
+          r.fail(os.str());
+          break;
+        }
+      }
+      if (result.overflow_trend.back() < 0) {
+        r.fail("overflow_trend ends negative");
+      }
+      if (result.success && result.overflow_trend.back() != 0) {
+        std::ostringstream os;
+        os << "result.success although the overflow trend ends at "
+           << result.overflow_trend.back();
+        r.fail(os.str());
+      }
+    }
+    if (result.pattern_accepts > result.pattern_attempts || result.pattern_attempts < 0) {
+      std::ostringstream os;
+      os << "pattern accounting inconsistent: " << result.pattern_accepts << " accepts of "
+         << result.pattern_attempts << " attempts";
+      r.fail(os.str());
+    }
+    if (rerouted != 0) {
+      r.fail("negotiated mode reports fault-retry reroutes (paper-mode machinery)");
+    }
+    for (std::size_t i = 0; i < result.nets.size(); ++i) {
+      if (result.nets[i].retries != 0) {
+        std::ostringstream os;
+        os << "net " << i << ": nonzero retries in negotiated mode";
+        r.fail(os.str());
+        break;
+      }
+    }
+  } else {
+    if (!result.overflow_trend.empty()) {
+      r.fail("paper-mode run carries a negotiated overflow_trend");
+    }
+    if (result.pattern_attempts != 0 || result.pattern_accepts != 0) {
+      r.fail("paper-mode run carries pattern-probe counts");
+    }
+  }
+
   if (total_wires != result.total_wire_nodes) {
     std::ostringstream os;
     os << "total_wire_nodes records " << result.total_wire_nodes << ", replay found "

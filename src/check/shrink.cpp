@@ -172,6 +172,11 @@ std::vector<CircuitCase> circuit_candidates(const CircuitCase& c) {
   if (c.node_budget > 0) {
     with_faults([](CircuitCase& m) { m.node_budget = 0; });  // 0 = unlimited
   }
+  if (c.negotiated) {
+    // Mode move: a failure that persists in paper mode exonerates the
+    // negotiation loop and pins the bug below the mode dispatch.
+    with_faults([](CircuitCase& m) { m.negotiated = false; });
+  }
   return out;
 }
 

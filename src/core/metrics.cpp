@@ -15,6 +15,12 @@ void Counters::reset() {
   nets_speculated.store(0, std::memory_order_relaxed);
   nets_spec_accepted.store(0, std::memory_order_relaxed);
   nets_spec_recomputed.store(0, std::memory_order_relaxed);
+  negotiate_runs.store(0, std::memory_order_relaxed);
+  negotiate_passes.store(0, std::memory_order_relaxed);
+  pattern_attempts.store(0, std::memory_order_relaxed);
+  pattern_accepts.store(0, std::memory_order_relaxed);
+  congestion_reliefs.store(0, std::memory_order_relaxed);
+  move_to_front_reorders.store(0, std::memory_order_relaxed);
 }
 
 Counters& counters() {

@@ -38,6 +38,19 @@ struct Counters {
   std::atomic<std::uint64_t> nets_spec_accepted{0};   // footprint-clean, committed as-is
   std::atomic<std::uint64_t> nets_spec_recomputed{0}; // conflicted, rerouted serially
 
+  // Negotiated-congestion mode (router/negotiate, DESIGN.md §13).
+  std::atomic<std::uint64_t> negotiate_runs{0};    // route_circuit calls in negotiated mode
+  std::atomic<std::uint64_t> negotiate_passes{0};  // rip-up-and-reroute passes executed
+  std::atomic<std::uint64_t> pattern_attempts{0};  // two-pin corridor probes tried
+  std::atomic<std::uint64_t> pattern_accepts{0};   // probes shipped as final pass routes
+
+  // Paper-mode-only machinery engagement. The mode-gating contract
+  // (negotiate_paper_boundary_test): neither may advance during a
+  // negotiated run — relief and move-to-front both assume the paper mode's
+  // exclusive wire ownership.
+  std::atomic<std::uint64_t> congestion_reliefs{0};       // CongestionRelief guards built
+  std::atomic<std::uint64_t> move_to_front_reorders{0};   // inter-pass reorders applied
+
   /// Zeroes every counter.
   void reset();
 };

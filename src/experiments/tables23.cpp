@@ -41,6 +41,7 @@ WidthExperimentResult run_width_experiment(std::span<const CircuitProfile> profi
     RouterOptions ours;
     ours.algorithm = options.algorithm;
     ours.max_passes = options.max_passes;
+    ours.mode = options.mode;
     auto ours_result = find_min_channel_width(base, circuit, ours, search);
     row.ours = ours_result.min_width;
     row.ours_at_min = std::move(ours_result.at_min_width);

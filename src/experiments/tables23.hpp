@@ -26,6 +26,11 @@ struct WidthExperimentOptions {
   bool run_baseline = true;
   Algorithm algorithm = Algorithm::kIkmb;
 
+  /// Congestion-resolution mode of the "ours" router column: the paper's
+  /// Section 5 loop, or the negotiated-congestion loop (DESIGN.md §13) —
+  /// bench/negotiate compares the two over the same Table 2/3 circuits.
+  RouterMode mode = RouterMode::kPaper;
+
   /// Worker threads for the circuit sweep: 0 = shared pool (FPR_THREADS /
   /// hardware default), 1 = serial, >= 2 = dedicated pool. Rows are
   /// independent circuit instances, so the result is identical for every

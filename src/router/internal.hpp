@@ -1,0 +1,33 @@
+#pragma once
+
+#include "fpga/device.hpp"
+#include "netlist/netlist.hpp"
+#include "router/router.hpp"
+
+/// Post-hoc diagnosis helpers shared by the paper-mode router (router.cpp)
+/// and the negotiated-congestion loop (negotiate.cpp). Internal to
+/// src/router: both modes must classify failures and recount degradation
+/// statistics identically, so the logic lives once, here, instead of
+/// drifting apart in two copies.
+namespace fpr::router_internal {
+
+/// Reclassifies the failed-by-congestion nets of `result` against an empty
+/// device with the same faults installed: a terminal unreachable there is
+/// unreachable at ANY congestion level, so the net is defect-blocked, not
+/// capacity-starved. Runs unbudgeted — it is post-hoc diagnosis, not
+/// routing work — and only when faults are present (on a pristine device
+/// every block is reachable by construction, making the probe a no-op).
+void classify_fault_blocked(const Device& device, const Circuit& circuit,
+                            RoutingResult& result);
+
+/// Degradation bookkeeping over the final per-net statuses: status counts,
+/// and the extra wirelength fault-displaced nets pay versus their solo
+/// fault-free routes.
+void accumulate_degradation_stats(const Device& device, const Circuit& circuit,
+                                  const RouterOptions& options, RoutingResult& result);
+
+/// Sums the per-net metrics of routed nets into the result's total_*
+/// aggregates (both modes finish with exactly this fold).
+void accumulate_totals(RoutingResult& result);
+
+}  // namespace fpr::router_internal

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "graph/budget.hpp"
+#include "graph/congestion_layer.hpp"
+#include "graph/types.hpp"
+#include "router/partition.hpp"
+
+namespace fpr {
+
+/// Outcome of a corridor pattern probe (pattern_route below).
+struct PatternProbe {
+  /// True when `edges` is a usable source->sink path: every hop fault-free
+  /// and every wire on it below capacity at probe time. False means the
+  /// caller must fall back to the full scoped engine — the probe proves
+  /// nothing about infeasibility, only that the cheap corridors failed.
+  bool accepted = false;
+  /// The probe's work budget expired mid-search (accepted is then false).
+  bool budget_aborted = false;
+
+  std::vector<EdgeId> edges;  // path edges, source -> sink order
+  Weight cost = 0;            // sum of live edge weights along the path
+
+  /// Union of every corridor rectangle the probe searched (half-tile
+  /// coordinates) — the probe's entire read set, which the wave scheduler
+  /// folds into the speculation's read footprint. Node membership is pure
+  /// arithmetic, so nothing outside this rectangle is ever READ either.
+  TileRect probed_area;
+
+  long long expansions = 0;  // heap pops spent (also charged to the budget)
+};
+
+/// Cheap first-attempt router for a two-pin connection (DESIGN.md §13):
+/// tries L-shaped and, for long spans, Z-shaped corridor probes between the
+/// terminals before the caller pays for a full scoped Dijkstra. Each
+/// corridor is a few margin-2 rectangles over the half-tile grid; a
+/// best-first search confined to the corridor prunes faulted hops
+/// (edge_usable) and at-capacity wires (layer.would_overflow) DURING the
+/// search, so any path that reaches the sink is acceptable by construction.
+/// Corridors are tried in a fixed order (L horizontal-first, L
+/// vertical-first, then the two Z shapes) and the first hit wins —
+/// deterministic, and bit-identical across thread counts because the probe
+/// reads only graph/layer state plus geometry.
+///
+/// Cost guarantee the equivalence suite pins: the corridor search relaxes
+/// the same live edge weights as the engine over a SUBSET of the graph, so
+/// a full Dijkstra on the same snapshot always finds an equal-or-cheaper
+/// path — a pattern accept is never better than the engine, just cheaper
+/// to compute.
+PatternProbe pattern_route(const Device& device, const CongestionLayer& layer, NodeId source,
+                           NodeId sink, WorkBudget* budget);
+
+}  // namespace fpr

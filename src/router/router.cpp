@@ -7,9 +7,19 @@
 
 #include "core/parallel.hpp"
 #include "graph/dijkstra.hpp"
+#include "router/internal.hpp"
+#include "router/negotiate.hpp"
 #include "router/partition.hpp"
 
 namespace fpr {
+
+std::string_view router_mode_name(RouterMode mode) {
+  switch (mode) {
+    case RouterMode::kPaper: return "paper";
+    case RouterMode::kNegotiated: return "negotiated";
+  }
+  return "?";
+}
 
 std::string_view net_status_name(NetStatus status) {
   switch (status) {
@@ -93,6 +103,12 @@ void rollback_commits(Device& device, const CommitLog& log, double congestion_pe
 class CongestionRelief {
  public:
   CongestionRelief(Graph& g, double scale) : g_(g) {
+    // Engagement counter: relief assumes the paper mode's exclusive wire
+    // ownership (weights encode the 0.25-per-commit penalties it relaxes).
+    // Negotiated-mode weights encode present/history pricing instead, so
+    // relief must never run there — negotiate_paper_boundary_test pins
+    // this counter at zero across negotiated runs.
+    counters().congestion_reliefs.fetch_add(1, std::memory_order_relaxed);
     const EdgeId count = g.edge_count();
     for (EdgeId e = 0; e < count; ++e) {
       const Weight w = g.edge_weight(e);
@@ -181,12 +197,12 @@ TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
   return out;
 }
 
-/// Reclassifies the failed-by-congestion nets of `result` against an empty
-/// device with the same faults installed: a terminal unreachable there is
-/// unreachable at ANY congestion level, so the net is defect-blocked, not
-/// capacity-starved. Runs unbudgeted — it is post-hoc diagnosis, not
-/// routing work — and only when faults are present (on a pristine device
-/// every block is reachable by construction, making the probe a no-op).
+}  // namespace
+
+// Shared post-hoc diagnosis (router/internal.hpp): identical logic serves
+// the paper-mode loop below and the negotiated loop in negotiate.cpp.
+namespace router_internal {
+
 void classify_fault_blocked(const Device& device, const Circuit& circuit,
                             RoutingResult& result) {
   std::unique_ptr<Device> probe;
@@ -213,6 +229,8 @@ void classify_fault_blocked(const Device& device, const Circuit& circuit,
   }
 }
 
+namespace {
+
 /// Physical wirelength of `net` routed alone on a pristine fault-free
 /// device — the fault-free baseline the detour-overhead statistic compares
 /// against. Returns -1 when even the solo route fails (pathological widths).
@@ -231,9 +249,8 @@ int solo_fault_free_wirelength(Device& pristine, const CircuitNet& circuit_net,
   return static_cast<int>(tree.edges().size());
 }
 
-/// Degradation bookkeeping over the final per-net statuses: status counts,
-/// and the extra wirelength fault-displaced nets pay versus their solo
-/// fault-free routes.
+}  // namespace
+
 void accumulate_degradation_stats(const Device& device, const Circuit& circuit,
                                   const RouterOptions& options, RoutingResult& result) {
   std::unique_ptr<Device> pristine;  // built lazily: most runs have no detours
@@ -254,6 +271,22 @@ void accumulate_degradation_stats(const Device& device, const Circuit& circuit,
     }
   }
 }
+
+void accumulate_totals(RoutingResult& result) {
+  for (const auto& record : result.nets) {
+    if (!record.routed()) continue;
+    result.total_wirelength += record.wirelength;
+    result.total_wire_nodes += record.wire_nodes_used;
+    result.total_max_pathlength += record.max_pathlength;
+    result.total_optimal_max_pathlength += record.optimal_max_pathlength;
+    result.total_physical_wirelength += record.physical_wirelength;
+    result.total_physical_max_path += record.physical_max_path;
+  }
+}
+
+}  // namespace router_internal
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Net-parallel wave scheduling (DESIGN.md §11).
@@ -653,6 +686,9 @@ std::vector<int> schedule_regions(const Circuit& circuit, const RouterOptions& o
 
 RoutingResult route_circuit(Device& device, const Circuit& circuit,
                             const RouterOptions& options) {
+  if (options.mode == RouterMode::kNegotiated) {
+    return route_circuit_negotiated(device, circuit, options);
+  }
   const std::size_t net_count = circuit.nets.size();
   std::vector<std::size_t> order(net_count);
   std::iota(order.begin(), order.end(), 0);
@@ -739,7 +775,10 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
 
     // Move-to-front: failed nets (in encounter order) lead the next pass.
     // Membership via a flag vector — the std::find scan was O(failed x nets)
-    // per pass.
+    // per pass. The reorder counter is the other half of the mode-gating
+    // contract alongside CongestionRelief's: negotiated mode routes a fixed
+    // order, so it must never advance there.
+    counters().move_to_front_reorders.fetch_add(1, std::memory_order_relaxed);
     std::vector<char> is_failed(net_count, 0);
     for (const std::size_t idx : failed) is_failed[idx] = 1;
     std::vector<std::size_t> reordered = failed;
@@ -753,19 +792,11 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
 
   // Post-hoc failure diagnosis + degradation statistics over the final
   // pass's statuses.
-  if (faulty && !result.success) classify_fault_blocked(device, circuit, result);
-  accumulate_degradation_stats(device, circuit, options, result);
-
-  // Aggregate totals over routed nets.
-  for (const auto& record : result.nets) {
-    if (!record.routed()) continue;
-    result.total_wirelength += record.wirelength;
-    result.total_wire_nodes += record.wire_nodes_used;
-    result.total_max_pathlength += record.max_pathlength;
-    result.total_optimal_max_pathlength += record.optimal_max_pathlength;
-    result.total_physical_wirelength += record.physical_wirelength;
-    result.total_physical_max_path += record.physical_max_path;
+  if (faulty && !result.success) {
+    router_internal::classify_fault_blocked(device, circuit, result);
   }
+  router_internal::accumulate_degradation_stats(device, circuit, options, result);
+  router_internal::accumulate_totals(result);
   return result;
 }
 

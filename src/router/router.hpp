@@ -11,6 +11,23 @@
 
 namespace fpr {
 
+/// Congestion-resolution strategy of route_circuit.
+enum class RouterMode {
+  /// The paper's Section 5 router: exclusive wire ownership (routed nets
+  /// consume their wire nodes), congestion penalties on tile siblings, and
+  /// move-to-front re-ordering of failed nets between passes.
+  kPaper,
+  /// PathFinder-style negotiated congestion (router/negotiate.hpp,
+  /// DESIGN.md §13): nets transiently share wires while present-overflow and
+  /// accrued-history costs re-price the shared wires each pass, until no
+  /// wire is over capacity. Two-pin nets first try cheap L/Z corridor
+  /// pattern probes (router/patterns.hpp) before the full scoped engine.
+  kNegotiated,
+};
+
+/// Printable name ("paper", "negotiated").
+std::string_view router_mode_name(RouterMode mode);
+
 /// Configuration of the paper's FPGA router (Section 5).
 struct RouterOptions {
   /// Tree construction used per net (the paper's Tables 2/3 use IKMB;
@@ -86,6 +103,42 @@ struct RouterOptions {
   /// searches are read-confined (corridor candidates, whole-net trees, no
   /// node budget); anything else routes serially regardless of this knob.
   int threads = 0;
+
+  /// Congestion-resolution mode. kPaper preserves the historical router
+  /// bit-for-bit; kNegotiated switches route_circuit to the negotiated-
+  /// congestion loop, which reads only the negotiate_* / pattern_route
+  /// knobs below plus the shared algorithm/candidate/budget/thread options
+  /// (move_to_front, congestion_penalty, fault_retries and max_passes are
+  /// paper-mode machinery and are never consulted). Negotiated mode routes
+  /// whole nets only: decompose_two_pin must stay false.
+  RouterMode mode = RouterMode::kPaper;
+
+  /// Negotiated mode: cap on rip-up-and-reroute passes (its feasibility
+  /// threshold). Deliberately independent of max_passes so a shared options
+  /// object keeps the paper-mode meaning of that field intact.
+  int negotiate_passes = 32;
+
+  /// Negotiated mode: present-overflow factor of the first pass and its
+  /// geometric per-pass growth/cap. A wire at or over capacity charges
+  /// present_factor * (occupancy + 1 - capacity) to every prospective new
+  /// occupant; doubling each pass turns "sharing is cheap" exploration into
+  /// "sharing is prohibitive" resolution. All dyadic, so repricing
+  /// arithmetic is bit-exact on every platform.
+  double present_factor = 0.5;
+  double present_growth = 2.0;
+  double present_factor_max = 4096.0;
+
+  /// Negotiated mode: history cost accrued by every overflowed wire at the
+  /// end of each pass. History never decays — it is the memory that steers
+  /// nets away from chronically contested wires even when they are
+  /// momentarily free.
+  double history_increment = 0.25;
+
+  /// Negotiated mode: attempt L/Z corridor pattern probes before the scoped
+  /// engine on two-pin nets (router/patterns.hpp). Purely a fast path: a
+  /// probe is accepted only when its corridor path is fault-free and
+  /// congestion-free; anything else falls back to the engine.
+  bool pattern_route = true;
 };
 
 /// Per-net routing outcome classification — the graceful-degradation
@@ -172,6 +225,21 @@ struct RoutingResult {
   /// contract: bit-identical across RouterOptions::threads values.
   std::vector<std::size_t> net_order;
 
+  // --- Negotiated-mode convergence contract (DESIGN.md §13) ---
+
+  /// Negotiated mode only: one entry per negotiation pass, holding the
+  /// LOWEST total wire overflow of any pass so far (best-so-far, so the
+  /// trend is monotone non-increasing by construction — the convergence
+  /// oracle pins this). Converged runs end in 0. Always empty in paper
+  /// mode.
+  std::vector<int> overflow_trend;
+
+  /// Negotiated mode: corridor pattern-probe accounting across the whole
+  /// run (attempts >= accepts; an accept means the probe's path shipped as
+  /// the net's route for that pass). Zero in paper mode.
+  long long pattern_attempts = 0;
+  long long pattern_accepts = 0;
+
   /// Fraction of nets routed — the yield measure of a degraded run (1.0 for
   /// an empty circuit).
   double routed_fraction() const {
@@ -182,11 +250,14 @@ struct RoutingResult {
   }
 };
 
-/// Routes every net of the circuit on the device, one net at a time:
-/// route -> commit (consume wire nodes, bump congestion) -> next net;
-/// failed nets move to the front and the whole circuit re-routes, up to
-/// max_passes passes. The device is reset() between passes and left holding
-/// the final (successful or last-attempt) state.
+/// Routes every net of the circuit on the device. In paper mode (the
+/// default), one net at a time: route -> commit (consume wire nodes, bump
+/// congestion) -> next net; failed nets move to the front and the whole
+/// circuit re-routes, up to max_passes passes. The device is reset()
+/// between passes and left holding the final (successful or last-attempt)
+/// state. RouterOptions::mode == kNegotiated dispatches to the
+/// negotiated-congestion loop instead (router/negotiate.hpp); either way
+/// the final device state satisfies exclusive wire ownership.
 RoutingResult route_circuit(Device& device, const Circuit& circuit, const RouterOptions& options);
 
 }  // namespace fpr
