@@ -1,0 +1,206 @@
+// Incremental ECO repair bench: single-wire fault events against routed
+// Table 2/3 circuits, repair work (node expansions the cone re-route
+// spends) versus the work a full from-scratch re-route of the degraded
+// device costs — the number that justifies the repair engine. Each event's
+// repaired state is replayed through the defect-aware feasibility oracle
+// with the cumulative overlay installed, so every row is also a verified
+// solution, and the bench FAILS if any event's repair work is not strictly
+// below the full re-route's.
+//
+// Writes a machine-readable record with --json <path>; the committed
+// baseline is BENCH_repair.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "check/oracles.hpp"
+#include "netlist/profiles.hpp"
+#include "netlist/synth.hpp"
+#include "router/repair.hpp"
+#include "router/router.hpp"
+#include "router/width_search.hpp"
+
+namespace {
+
+using namespace fpr;
+
+struct BenchCase {
+  std::string name;
+  ArchSpec base;  // width 1; the run picks min width + 1 headroom
+  Circuit circuit;
+};
+
+std::vector<BenchCase> bench_cases() {
+  std::vector<BenchCase> cases;
+  const auto add = [&cases](const CircuitProfile& p, bool xc4000, unsigned seed) {
+    cases.push_back({p.name,
+                     xc4000 ? ArchSpec::xc4000(p.rows, p.cols, 1)
+                            : ArchSpec::xc3000(p.rows, p.cols, 1),
+                     synthesize_circuit(p, seed)});
+  };
+  add(xc3000_profiles()[0], false, 31);  // busc
+  add(xc3000_profiles()[1], false, 31);  // dma
+  add(xc4000_profiles()[2], true, 7);    // term1
+  if (bench::full_mode()) {
+    add(xc3000_profiles()[2], false, 31);  // bnre
+    add(xc3000_profiles()[3], false, 31);  // dfsm
+  }
+  return cases;
+}
+
+struct ModeRow {
+  int width = 0;
+  int events = 0;
+  int cone_nets = 0;       // summed over events
+  long long repair_work = 0;
+  long long reroute_work = 0;  // full from-scratch re-route, summed
+  double repair_seconds = 0;
+  double reroute_seconds = 0;
+  bool all_clean = true;   // every event's outcome.clean()
+  bool strictly_cheaper = true;  // repair < re-route for EVERY event
+};
+
+constexpr int kEventsPerCase = 6;
+
+/// Routes at min_width + 1, then applies kEventsPerCase single-wire fault
+/// events (each kills the first committed wire of a different routed net)
+/// through repair_route, comparing each event's work against a full
+/// re-route of the same degraded device from scratch.
+ModeRow run_mode(const BenchCase& bc, RouterMode mode) {
+  RouterOptions options;
+  options.mode = mode;
+  options.max_passes = 20;
+  options.negotiate_passes = 20;
+  options.record_commits = true;
+  WidthSearchOptions search;
+  search.max_width = 30;
+
+  ModeRow row;
+  const auto found = find_min_channel_width(bc.base, bc.circuit, options, search);
+  if (found.min_width < 0) {
+    std::fprintf(stderr, "FATAL: %s did not route within the width search range\n",
+                 bc.name.c_str());
+    std::exit(1);
+  }
+  row.width = found.min_width + 1;  // headroom so single-wire repairs succeed
+
+  ArchSpec at_width = bc.base;
+  at_width.channel_width = row.width;
+  Device device(at_width);
+  Circuit circuit = bc.circuit;
+  RoutingResult result = route_circuit(device, circuit, options);
+  if (!result.success) {
+    std::fprintf(stderr, "FATAL: %s failed to route at width %d\n", bc.name.c_str(), row.width);
+    std::exit(1);
+  }
+
+  FaultEvent overlay;  // cumulative, for the oracle replay + re-route probes
+  std::size_t victim = 0;
+  for (int i = 0; i < kEventsPerCase; ++i) {
+    // Next net (cycling) that still owns wires; kill its first wire.
+    RepairEvent ev;
+    for (std::size_t probe = 0; probe < result.nets.size(); ++probe) {
+      const std::size_t n = (victim + probe) % result.nets.size();
+      if (!result.commit_logs[n].wires.empty()) {
+        ev.faults.dead_wires = {result.commit_logs[n].wires.front()};
+        victim = n + 1;
+        break;
+      }
+    }
+    if (ev.faults.dead_wires.empty()) break;
+    overlay.merge(ev.faults);
+
+    const bench::Stopwatch repair_watch;
+    const RepairOutcome out = repair_route(device, circuit, result, ev, options);
+    row.repair_seconds += repair_watch.seconds();
+    row.events += 1;
+    row.cone_nets += out.cone_nets;
+    row.repair_work += out.budget_used;
+    row.all_clean = row.all_clean && out.clean();
+
+    // The alternative a repair engine displaces: re-route the whole
+    // circuit from scratch on the same degraded device.
+    Device fresh(at_width);
+    fresh.apply_fault_event(overlay);
+    const bench::Stopwatch reroute_watch;
+    const RoutingResult full = route_circuit(fresh, circuit, options);
+    row.reroute_seconds += reroute_watch.seconds();
+    row.reroute_work += full.work_used;
+    if (out.budget_used >= full.work_used) row.strictly_cheaper = false;
+  }
+
+  const auto check =
+      check::check_routing_feasibility(at_width, circuit, result, options, nullptr, &overlay);
+  if (!check.ok()) {
+    std::fprintf(stderr, "FATAL: %s repaired state failed the oracle:\n%s\n", bc.name.c_str(),
+                 check.message().c_str());
+    std::exit(1);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = bench::json_output_path(argc, argv);
+  bench::banner("Incremental repair vs full re-route: work per single-wire fault event");
+  bench::report_threads();
+  std::printf("\n%-8s %-10s %5s %6s %5s | %12s %12s %7s | %9s %9s\n", "circuit", "mode", "width",
+              "events", "cone", "repair-work", "reroute-work", "ratio", "rep-ms", "rte-ms");
+
+  bool all_strict = true;
+  bench::Json rows = bench::Json::array();
+  for (const BenchCase& bc : bench_cases()) {
+    for (const RouterMode mode : {RouterMode::kPaper, RouterMode::kNegotiated}) {
+      const char* mode_name = mode == RouterMode::kPaper ? "paper" : "negotiated";
+      const ModeRow row = run_mode(bc, mode);
+      const double ratio = row.reroute_work > 0 ? static_cast<double>(row.repair_work) /
+                                                      static_cast<double>(row.reroute_work)
+                                                : 0.0;
+      std::printf("%-8s %-10s %5d %6d %5d | %12lld %12lld %6.1f%% | %9.1f %9.1f\n",
+                  bc.name.c_str(), mode_name, row.width, row.events, row.cone_nets,
+                  row.repair_work, row.reroute_work, ratio * 100.0, row.repair_seconds * 1e3,
+                  row.reroute_seconds * 1e3);
+      all_strict = all_strict && row.strictly_cheaper;
+
+      bench::Json r = bench::Json::object();
+      r.field("case", bc.name);
+      r.field("mode", std::string(mode_name));
+      r.field("width", row.width);
+      r.field("events", row.events);
+      r.field("cone_nets", row.cone_nets);
+      r.field("repair_work", row.repair_work);
+      r.field("reroute_work", row.reroute_work);
+      r.field("work_ratio", ratio);
+      r.field("repair_ms", row.repair_seconds * 1e3);
+      r.field("reroute_ms", row.reroute_seconds * 1e3);
+      r.field("all_clean", row.all_clean);
+      r.field("strictly_cheaper", row.strictly_cheaper);
+      rows.element(r);
+    }
+  }
+
+  if (!all_strict) {
+    std::fprintf(stderr,
+                 "FATAL: a single-wire event's repair cost reached the full re-route cost\n");
+    return 1;
+  }
+  if (json_path != nullptr) {
+    bench::Json doc = bench::Json::object();
+    doc.field("bench", "repair");
+    doc.field("timestamp", bench::iso_timestamp());
+    doc.field("full_mode", bench::full_mode());
+    doc.field("events_per_case", kEventsPerCase);
+    doc.field("rows", rows);
+    if (bench::write_json(json_path, doc)) {
+      std::printf("\nwrote %s\n", json_path);
+    } else {
+      return 1;
+    }
+  }
+  std::printf("\nwork = deterministic Dijkstra node expansions (never wall-clock).\n");
+  return 0;
+}

@@ -48,6 +48,13 @@ RoutingTree pfa(const Graph& g, std::span<const NodeId> net, PathOracle& oracle)
         }
       }
     }
+    if (best_m == kInvalidNode && oracle.budget_exhausted()) {
+      // A truncated SSSP (the oracle's work budget ran out mid-fold) can
+      // leave a reachable pair without a common settled dominator. Stop
+      // folding: the assembly below ships what was merged so far, the
+      // result does not span, and the caller classifies kAbortedBudget.
+      break;
+    }
     FPR_CHECK(best_m != kInvalidNode,
               "PFA merge selection found no meeting node — reachable nodes always share the "
               "source as a MaxDom");

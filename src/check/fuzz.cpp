@@ -1,5 +1,6 @@
 #include "check/fuzz.hpp"
 
+#include <algorithm>
 #include <array>
 #include <filesystem>
 #include <fstream>
@@ -14,13 +15,14 @@ namespace fpr::check {
 
 namespace {
 
-constexpr std::array<Oracle, 6> kOracles{
+constexpr std::array<Oracle, 7> kOracles{
     Oracle::kTreeValidity,
     Oracle::kApproxBound,
     Oracle::kMonotonic,
     Oracle::kFeasibility,
     Oracle::kFaults,
     Oracle::kNegotiate,
+    Oracle::kRepair,
 };
 
 /// Validity fuzzes every construction including the exact solvers (whose
@@ -53,6 +55,7 @@ CheckResult run_tree_oracle(Oracle oracle, const TreeCase& c, int max_terminals)
     case Oracle::kFeasibility:
     case Oracle::kFaults:
     case Oracle::kNegotiate:
+    case Oracle::kRepair:
       break;  // not tree-level oracles
   }
   CheckResult r;
@@ -60,7 +63,77 @@ CheckResult run_tree_oracle(Oracle oracle, const TreeCase& c, int max_terminals)
   return r;
 }
 
-CheckResult run_circuit_oracle(const CircuitCase& c) {
+/// Derives the repair case's ECO event list from the initially routed
+/// state, deterministically from repair_seed. The draws skew toward killing
+/// wires real nets committed (nonempty cones), with slices for untouched
+/// wires (the no-op path), net removals, pin changes, and new nets.
+std::vector<RepairEvent> derive_repair_events(const Device& device, const Circuit& circuit,
+                                              const RoutingResult& seed_route,
+                                              const CircuitCase& c) {
+  Rng rng(c.repair_seed);
+  std::vector<NodeId> used;
+  for (const NetCommitLog& log : seed_route.commit_logs) {
+    used.insert(used.end(), log.wires.begin(), log.wires.end());
+  }
+  std::sort(used.begin(), used.end());
+  const Graph& g = device.graph();
+  const NodeId first_wire = g.node_count() - device.wire_count();
+  const auto random_pin = [&]() {
+    return PinRef{rng.range(0, c.cols - 1), rng.range(0, c.rows - 1)};
+  };
+
+  std::vector<RepairEvent> events;
+  for (int k = 0; k < c.repair_events; ++k) {
+    RepairEvent ev;
+    ev.budget = c.repair_budget;
+    const std::uint64_t draw = rng.below(8);
+    if (draw < 4 && !used.empty()) {
+      // Kill one or two wires the seed route committed somewhere.
+      const int kills = 1 + static_cast<int>(rng.below(2));
+      for (int j = 0; j < kills; ++j) {
+        ev.faults.dead_wires.push_back(used[rng.below(used.size())]);
+      }
+      ev.faults.normalize();
+    } else if (draw == 4 && device.wire_count() > 0) {
+      // Kill a random wire node — often one no net touches (no-op cones).
+      ev.faults.dead_wires.push_back(
+          first_wire + static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(device.wire_count()))));
+    } else if (draw == 5 && !circuit.nets.empty()) {
+      ev.removed.push_back(static_cast<int>(rng.below(circuit.nets.size())));
+    } else if (draw == 6 && !circuit.nets.empty()) {
+      const int idx = static_cast<int>(rng.below(circuit.nets.size()));
+      CircuitNet net = circuit.nets[static_cast<std::size_t>(idx)];
+      net.sinks.push_back(random_pin());
+      ev.changed.emplace_back(idx, std::move(net));
+    } else {
+      CircuitNet net;
+      net.source = random_pin();
+      const int sinks = rng.range(1, 2);
+      for (int s = 0; s < sinks; ++s) net.sinks.push_back(random_pin());
+      ev.added.push_back(std::move(net));
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+CheckResult run_repair_oracle(const CircuitCase& c) {
+  const ArchSpec arch = c.arch();
+  const Circuit circuit = c.circuit();
+  const RouterOptions options = c.router_options();
+  // Preliminary route purely to derive the events (the router is
+  // deterministic, so check_repair's own seed route is identical).
+  Device device(arch);
+  if (c.faults.any()) device.install_faults(c.faults);
+  RouterOptions probe_options = options;
+  probe_options.record_commits = true;
+  const RoutingResult seed_route = route_circuit(device, circuit, probe_options);
+  const std::vector<RepairEvent> events = derive_repair_events(device, circuit, seed_route, c);
+  return check_repair(arch, circuit, options, c.faults.any() ? &c.faults : nullptr, events);
+}
+
+CheckResult run_circuit_oracle(Oracle oracle, const CircuitCase& c) {
+  if (oracle == Oracle::kRepair) return run_repair_oracle(c);
   const ArchSpec arch = c.arch();
   const Circuit circuit = c.circuit();
   const RouterOptions options = c.router_options();
@@ -72,7 +145,8 @@ CheckResult run_circuit_oracle(const CircuitCase& c) {
 }
 
 bool is_circuit_oracle(Oracle o) {
-  return o == Oracle::kFeasibility || o == Oracle::kFaults || o == Oracle::kNegotiate;
+  return o == Oracle::kFeasibility || o == Oracle::kFaults || o == Oracle::kNegotiate ||
+         o == Oracle::kRepair;
 }
 
 void persist_failure(FuzzFailure& f, const FuzzOptions& options) {
@@ -103,6 +177,7 @@ std::string_view oracle_name(Oracle o) {
     case Oracle::kFeasibility: return "feasibility";
     case Oracle::kFaults: return "faults";
     case Oracle::kNegotiate: return "negotiate";
+    case Oracle::kRepair: return "repair";
   }
   return "?";
 }
@@ -121,7 +196,7 @@ std::optional<CheckResult> run_case(Oracle oracle, const std::string& case_line,
   if (is_circuit_oracle(oracle)) {
     const auto c = CircuitCase::parse(case_line);
     if (!c) return std::nullopt;
-    return run_circuit_oracle(*c);
+    return run_circuit_oracle(oracle, *c);
   }
   const auto c = TreeCase::parse(case_line);
   if (!c) return std::nullopt;
@@ -149,17 +224,19 @@ FuzzReport fuzz(const FuzzOptions& options) {
       if (is_circuit_oracle(oracle)) {
         CircuitCase c = oracle == Oracle::kFaults      ? generate_fault_circuit_case(case_seed)
                         : oracle == Oracle::kNegotiate ? generate_negotiated_circuit_case(case_seed)
+                        : oracle == Oracle::kRepair    ? generate_repair_circuit_case(case_seed)
                                                        : generate_circuit_case(case_seed);
         if (!options.algorithms.empty()) {
           c.algorithm = options.algorithms[mix64(case_seed, 0x5eed) % options.algorithms.size()];
         }
-        result = run_circuit_oracle(c);
+        result = run_circuit_oracle(oracle, c);
         if (!result.ok()) {
           if (options.shrink) {
-            c = shrink_circuit_case(
-                c, [](const CircuitCase& cand) { return !run_circuit_oracle(cand).ok(); });
+            c = shrink_circuit_case(c, [oracle](const CircuitCase& cand) {
+              return !run_circuit_oracle(oracle, cand).ok();
+            });
           }
-          result = run_circuit_oracle(c);
+          result = run_circuit_oracle(oracle, c);
           case_line = c.describe();
         }
       } else {

@@ -25,6 +25,11 @@ enum class Oracle {
                   // checks plus the convergence contract (monotone overflow
                   // trend, zero final overflow on success, no paper-mode
                   // retry machinery engaged)
+  kRepair,        // incremental ECO repair: route, apply derived fault/net
+                  // events through repair_route, re-derive the cone and the
+                  // rip-up arithmetic from scratch, check untouched-net
+                  // byte-stability, final-state feasibility on the mutated
+                  // device, and journal replay bit-identity
 };
 
 std::string_view oracle_name(Oracle o);

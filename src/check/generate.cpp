@@ -200,6 +200,10 @@ std::string CircuitCase::describe() const {
   }
   if (node_budget != 0) os << " budget=" << node_budget;
   if (negotiated) os << " mode=negotiated";
+  if (repair_events != 0) {
+    os << " repair_events=" << repair_events << " repair_seed=" << repair_seed;
+  }
+  if (repair_budget != 0) os << " repair_budget=" << repair_budget;
   return os.str();
 }
 
@@ -249,10 +253,17 @@ std::optional<CircuitCase> CircuitCase::parse(const std::string& line) {
     } else if (key == "mode") {
       if (value != "negotiated" && value != "paper") return std::nullopt;
       c.negotiated = value == "negotiated";
+    } else if (key == "repair_events") {
+      c.repair_events = std::stoi(value);
+    } else if (key == "repair_seed") {
+      c.repair_seed = std::stoull(value);
+    } else if (key == "repair_budget") {
+      c.repair_budget = std::stoll(value);
     }
   }
   if (c.rows < 1 || c.cols < 1 || c.width < 1) return std::nullopt;
   if (!c.faults.valid() || c.node_budget < 0 || c.threads < 0) return std::nullopt;
+  if (c.repair_events < 0 || c.repair_budget < 0) return std::nullopt;
   return c;
 }
 
@@ -357,6 +368,27 @@ CircuitCase generate_negotiated_circuit_case(std::uint64_t case_seed) {
     c.faults.switch_permille = rng.range(0, 40);
   }
   if (rng.below(8) == 0) c.node_budget = 20'000 + 1000 * rng.range(0, 40);
+  return c;
+}
+
+CircuitCase generate_repair_circuit_case(std::uint64_t case_seed) {
+  CircuitCase c = generate_circuit_case(case_seed);
+  Rng rng(mix64(case_seed, salt64("repair-case")));
+  c.repair_seed = rng.next();
+  c.repair_events = rng.range(1, 4);
+  if (rng.below(4) == 0) {
+    // A slice layers the events on top of an installed defect distribution:
+    // repair must compose with spec faults (retry ladders engaged, overlay
+    // and distribution both avoided). Lighter rates than the fault
+    // generator so most seeds still route before the first event.
+    c.faults.seed = rng.next();
+    c.faults.wire_permille = rng.range(0, 40);
+    c.faults.switch_permille = rng.range(0, 30);
+  }
+  // A slice strangles individual events: budget aborts must degrade
+  // gracefully (kAbortedBudget cone nets, byte-stable rest) and replay
+  // bit-identically.
+  if (rng.below(4) == 0) c.repair_budget = 2'000 + 1000 * rng.range(0, 20);
   return c;
 }
 

@@ -92,6 +92,15 @@ struct CircuitCase {
   /// of the shared ones. Serialized only when set ("mode=negotiated").
   bool negotiated = false;
 
+  /// Repair-oracle dimensions: how many ECO events to derive (from
+  /// repair_seed, deterministically, against the initially routed state —
+  /// see derive_repair_events in fuzz.cpp) and apply through repair_route,
+  /// and the per-event work budget (0 = unlimited). repair_events == 0
+  /// means the case is not a repair case. Serialized only when non-default.
+  int repair_events = 0;
+  std::uint64_t repair_seed = 0;
+  long long repair_budget = 0;
+
   ArchSpec arch() const;
   Circuit circuit() const;
   RouterOptions router_options() const;
@@ -116,6 +125,12 @@ CircuitCase generate_fault_circuit_case(std::uint64_t case_seed);
 /// with faults, a slice with a work budget) — the negotiate oracle's
 /// generator.
 CircuitCase generate_negotiated_circuit_case(std::uint64_t case_seed);
+
+/// A repair circuit case: generate_circuit_case plus 1-4 derived ECO events
+/// (a slice with spec faults underneath, a slice with per-event budgets) —
+/// the repair oracle's generator. Inherits the base draw's mode mix, so
+/// repair is continuously fuzzed in both paper and negotiated modes.
+CircuitCase generate_repair_circuit_case(std::uint64_t case_seed);
 
 /// Inverse of algorithm_name() over every Algorithm (heuristics + exact).
 std::optional<Algorithm> algorithm_from_name(std::string_view name);

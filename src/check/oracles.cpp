@@ -11,6 +11,7 @@
 
 #include "arbor/exact_gsa.hpp"
 #include "core/metrics.hpp"
+#include "router/journal.hpp"
 #include "steiner/exact_gmst.hpp"
 
 namespace fpr::check {
@@ -285,7 +286,8 @@ CheckResult check_iterated_monotonicity(const Graph& g, const Net& net) {
 CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circuit,
                                       const RoutingResult& result,
                                       const RouterOptions& options,
-                                      const FaultSpec* faults) {
+                                      const FaultSpec* faults,
+                                      const FaultEvent* events) {
   CheckResult r;
   if (result.nets.size() != circuit.nets.size()) {
     std::ostringstream os;
@@ -297,7 +299,9 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
 
   Device device(arch);
   if (faults != nullptr && faults->any()) device.install_faults(*faults);
+  if (events != nullptr && !events->empty()) device.apply_fault_event(*events);
   const FaultModel* fault_model = device.faults();
+  const bool any_events = events != nullptr && !events->empty();
   const Graph& g = device.graph();
   std::unordered_map<NodeId, std::size_t> wire_owner;  // wire node -> net index
   std::map<std::tuple<int, int, int>, int> tile_tracks_used;  // (dir, x, y) -> wires
@@ -332,18 +336,21 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
     }
     if (!edges_ok) continue;
 
-    // Defect avoidance: a routed net must not touch any injected fault.
-    // (Tree validity below also rejects unusable edges, but these messages
-    // name the defect explicitly.)
-    if (fault_model != nullptr) {
+    // Defect avoidance: a routed net must not touch any injected fault —
+    // neither the installed distribution nor the live event overlay. (Tree
+    // validity below also rejects unusable edges, but these messages name
+    // the defect explicitly.)
+    if (fault_model != nullptr || any_events) {
       for (const EdgeId e : nr.edges) {
-        if (fault_model->edge_faulted(e)) {
+        if ((fault_model != nullptr && fault_model->edge_faulted(e)) ||
+            (any_events && events->edge_faulted(e))) {
           std::ostringstream os;
           os << where.str() << "route traverses faulted edge " << e;
           r.fail(os.str());
         }
         for (const NodeId v : {g.edge(e).u, g.edge(e).v}) {
-          if (device.is_wire(v) && fault_model->wire_faulted(v)) {
+          if (device.is_wire(v) && ((fault_model != nullptr && fault_model->wire_faulted(v)) ||
+                                    (any_events && events->wire_faulted(v)))) {
             std::ostringstream os;
             os << where.str() << "route occupies faulted wire node " << v;
             r.fail(os.str());
@@ -461,7 +468,7 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
        << " kAbortedBudget nets";
     r.fail(os.str());
   }
-  if (blocked > 0 && (faults == nullptr || !faults->any())) {
+  if (blocked > 0 && (faults == nullptr || !faults->any()) && !any_events) {
     r.fail("kBlockedByFault nets reported on a device with no installed faults");
   }
 
@@ -540,6 +547,210 @@ CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circu
     os << "total_physical_max_path records " << result.total_physical_max_path
        << ", replay found " << total_physical_max_path;
     r.fail(os.str());
+  }
+  return finish(std::move(r));
+}
+
+CheckResult check_repair(const ArchSpec& arch, const Circuit& seed,
+                         const RouterOptions& options, const FaultSpec* faults,
+                         const std::vector<RepairEvent>& events) {
+  CheckResult r;
+  RouterOptions opts = options;
+  opts.record_commits = true;
+
+  Device device(arch);
+  if (faults != nullptr && faults->any()) device.install_faults(*faults);
+  Circuit circuit = seed;
+  RoutingResult result = route_circuit(device, circuit, opts);
+
+  FaultEvent cumulative;
+  RepairJournal journal;
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const RepairEvent& event = events[k];
+    std::ostringstream where;
+    where << "event " << k << ": ";
+
+    // Independent cone re-derivation against the PRE-event state. This is
+    // deliberately NOT a call into repair_cone: a cone bug in production
+    // code must disagree with this recomputation, not cancel against it.
+    std::vector<char> expected_cone(result.nets.size() + event.added.size(), 0);
+    for (std::size_t i = 0; i < result.nets.size(); ++i) {
+      for (const NodeId w : result.commit_logs[i].wires) {
+        if (event.faults.wire_faulted(w)) {
+          expected_cone[i] = 1;
+          break;
+        }
+      }
+      if (expected_cone[i] == 0 && !event.faults.dead_edges.empty()) {
+        for (const EdgeId e : result.nets[i].edges) {
+          if (event.faults.edge_faulted(e)) {
+            expected_cone[i] = 1;
+            break;
+          }
+        }
+      }
+    }
+    if (!event.faults.dead_wires.empty()) {
+      std::unordered_map<NodeId, std::size_t> owner;
+      for (std::size_t i = 0; i < result.commit_logs.size(); ++i) {
+        for (const NodeId w : result.commit_logs[i].wires) owner.emplace(w, i);
+      }
+      for (const NodeId w : event.faults.dead_wires) {
+        if (!device.is_wire(w)) continue;
+        device.for_each_tile_sibling(w, [&](NodeId s) {
+          const auto it = owner.find(s);
+          if (it != owner.end()) expected_cone[it->second] = 1;
+        });
+      }
+    }
+    for (const auto& [idx, net] : event.changed) {
+      if (idx >= 0 && static_cast<std::size_t>(idx) < expected_cone.size()) {
+        expected_cone[static_cast<std::size_t>(idx)] = 1;
+      }
+    }
+    for (const int idx : event.removed) {
+      if (idx >= 0 && static_cast<std::size_t>(idx) < expected_cone.size()) {
+        expected_cone[static_cast<std::size_t>(idx)] = 1;
+      }
+    }
+    for (std::size_t a = 0; a < event.added.size(); ++a) {
+      expected_cone[result.nets.size() + a] = 1;
+    }
+
+    const RoutingResult before = result;  // snapshot for byte-stability
+
+    const RepairOutcome outcome = repair_route(device, circuit, result, event, opts);
+    journal.append(event, outcome);
+    cumulative.merge(event.faults);
+
+    int expected_count = 0;
+    for (const char flag : expected_cone) expected_count += flag;
+    if (outcome.cone_nets != expected_count) {
+      std::ostringstream os;
+      os << where.str() << "cone_nets reports " << outcome.cone_nets
+         << ", oracle re-derived " << expected_count;
+      r.fail(os.str());
+    }
+    if (outcome.repaired + outcome.degraded + outcome.aborted != outcome.cone_nets) {
+      std::ostringstream os;
+      os << where.str() << "repaired+degraded+aborted = "
+         << outcome.repaired + outcome.degraded + outcome.aborted << " does not partition cone "
+         << outcome.cone_nets;
+      r.fail(os.str());
+    }
+
+    // Byte-stability of the cone complement: an event must not perturb any
+    // net it did not claim to touch.
+    for (std::size_t i = 0; i < before.nets.size(); ++i) {
+      if (expected_cone[i] != 0) continue;
+      if (!(result.nets[i] == before.nets[i])) {
+        std::ostringstream os;
+        os << where.str() << "net " << i << " outside the cone changed its record";
+        r.fail(os.str());
+      }
+      if (!(result.commit_logs[i] == before.commit_logs[i])) {
+        std::ostringstream os;
+        os << where.str() << "net " << i << " outside the cone changed its commit log";
+        r.fail(os.str());
+      }
+    }
+    if (!r.ok()) break;  // later events would re-report consequences of this one
+  }
+
+  // Final-state feasibility on the mutated device: the repaired result must
+  // pass everything a from-scratch route of the final circuit would.
+  {
+    CheckResult feas = check_routing_feasibility(arch, circuit, result, opts, faults,
+                                                 cumulative.empty() ? nullptr : &cumulative);
+    for (auto& v : feas.violations) r.fail("final state: " + v);
+  }
+
+  // Rip-up arithmetic from scratch: every edge weight equals its pristine
+  // base plus congestion_penalty per recorded application, and every wire's
+  // activity/ownership matches the commit logs plus the dead sets.
+  {
+    const Graph& g = device.graph();
+    Device pristine(arch);
+    std::vector<int> applications(static_cast<std::size_t>(g.edge_count()), 0);
+    std::vector<std::int32_t> owner(static_cast<std::size_t>(g.node_count()), -1);
+    for (std::size_t i = 0; i < result.commit_logs.size(); ++i) {
+      const NetCommitLog& log = result.commit_logs[i];
+      if (!result.nets[i].routed() && !(log.wires.empty() && log.penalized.empty())) {
+        std::ostringstream os;
+        os << "net " << i << ": unrouted net holds a non-empty commit log";
+        r.fail(os.str());
+      }
+      for (const EdgeId e : log.penalized) ++applications[static_cast<std::size_t>(e)];
+      for (const NodeId w : log.wires) {
+        if (owner[static_cast<std::size_t>(w)] >= 0) {
+          std::ostringstream os;
+          os << "wire node " << w << " appears in the commit logs of nets "
+             << owner[static_cast<std::size_t>(w)] << " and " << i;
+          r.fail(os.str());
+        }
+        owner[static_cast<std::size_t>(w)] = static_cast<std::int32_t>(i);
+      }
+    }
+    int weight_mismatches = 0;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const Weight expected = pristine.graph().edge_weight(e) +
+                              opts.congestion_penalty * applications[static_cast<std::size_t>(e)];
+      if (!weight_eq(g.edge_weight(e), expected) && ++weight_mismatches <= 3) {
+        std::ostringstream os;
+        os << "edge " << e << " weight " << g.edge_weight(e) << ", re-derived " << expected
+           << " (base + penalty x " << applications[static_cast<std::size_t>(e)] << ")";
+        r.fail(os.str());
+      }
+    }
+    const FaultModel* fault_model = device.faults();
+    int activity_mismatches = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (!device.is_wire(v)) continue;
+      const bool expect_dead = owner[static_cast<std::size_t>(v)] >= 0 ||
+                               (fault_model != nullptr && fault_model->wire_faulted(v)) ||
+                               cumulative.wire_faulted(v);
+      if (g.node_active(v) == expect_dead && ++activity_mismatches <= 3) {
+        std::ostringstream os;
+        os << "wire node " << v << (expect_dead ? " active" : " inactive")
+           << " although the commit logs and dead sets say otherwise";
+        r.fail(os.str());
+      }
+    }
+  }
+
+  // Journal determinism: text round-trip, then full replay from the seed —
+  // (seed circuit + journal) must reconstruct this exact routed state.
+  {
+    const auto parsed = RepairJournal::parse(journal.serialize());
+    if (!parsed.has_value() || !(*parsed == journal)) {
+      r.fail("journal serialize/parse round-trip diverged");
+    }
+    Device replay_device(arch);
+    if (faults != nullptr && faults->any()) replay_device.install_faults(*faults);
+    const JournalReplayResult replay = replay_journal(replay_device, seed, options, journal);
+    if (!replay.ok) {
+      r.fail("journal replay: " + replay.error);
+    }
+    if (replay.circuit.nets != circuit.nets) {
+      r.fail("journal replay reconstructed a different circuit");
+    }
+    if (replay.result.nets.size() != result.nets.size() ||
+        replay.result.commit_logs.size() != result.commit_logs.size()) {
+      r.fail("journal replay reconstructed a different net count");
+    } else {
+      for (std::size_t i = 0; i < result.nets.size(); ++i) {
+        if (!(replay.result.nets[i] == result.nets[i]) ||
+            !(replay.result.commit_logs[i] == result.commit_logs[i])) {
+          std::ostringstream os;
+          os << "journal replay diverged at net " << i << " (record or commit log)";
+          r.fail(os.str());
+          break;
+        }
+      }
+      if (replay.result.net_order != result.net_order) {
+        r.fail("journal replay reconstructed a different net order");
+      }
+    }
   }
   return finish(std::move(r));
 }

@@ -2,11 +2,14 @@
 
 #include <span>
 
+#include <vector>
+
 #include "check/check.hpp"
 #include "core/route.hpp"
 #include "fpga/arch.hpp"
 #include "fpga/device.hpp"
 #include "netlist/netlist.hpp"
+#include "router/repair.hpp"
 #include "router/router.hpp"
 
 namespace fpr::check {
@@ -61,10 +64,38 @@ CheckResult check_iterated_monotonicity(const Graph& g, const Net& net);
 /// When `faults` is given, the replay device gets the same defect set
 /// installed, and the oracle additionally asserts that no routed net
 /// occupies a faulted wire segment or traverses a dead switch/pin edge —
-/// the core guarantee of defect-aware routing.
+/// the core guarantee of defect-aware routing. `events` extends the same
+/// guarantee to a live fault-event overlay (Device::apply_fault_event):
+/// pass the cumulative overlay when checking a repaired result.
 CheckResult check_routing_feasibility(const ArchSpec& arch, const Circuit& circuit,
                                       const RoutingResult& result,
                                       const RouterOptions& options,
-                                      const FaultSpec* faults = nullptr);
+                                      const FaultSpec* faults = nullptr,
+                                      const FaultEvent* events = nullptr);
+
+/// Incremental-repair oracle (the kRepair fuzz dimension). Routes `seed`
+/// from scratch (record_commits forced on, `faults` installed when given),
+/// applies `events` one at a time through repair_route, and re-derives
+/// every repair guarantee independently:
+///  - cone contract: the oracle recomputes each event's affected cone
+///    (direct hits + tile-sibling expansion + net-delta members) with its
+///    own code — never repair_cone — and the reported cone_nets, and the
+///    repaired/degraded/aborted split, must match;
+///  - byte-stability: every net outside the oracle's cone keeps a
+///    bit-identical record and commit log across the event;
+///  - rip-up arithmetic: after all events, every edge weight must equal
+///    its pristine base plus congestion_penalty times the recorded
+///    applications, and wire activity/ownership must match the commit
+///    logs plus the dead sets — recomputed from scratch;
+///  - feasibility: the final state passes check_routing_feasibility with
+///    the cumulative event overlay (repaired state is feasibility-
+///    equivalent to a from-scratch route on the mutated device);
+///  - replay: the (event, outcome) journal round-trips through its text
+///    form and replay_journal reconstructs the exact final state
+///    (bit-identical records, commit logs, net order) with matching
+///    outcomes.
+CheckResult check_repair(const ArchSpec& arch, const Circuit& seed,
+                         const RouterOptions& options, const FaultSpec* faults,
+                         const std::vector<RepairEvent>& events);
 
 }  // namespace fpr::check

@@ -177,6 +177,17 @@ std::vector<CircuitCase> circuit_candidates(const CircuitCase& c) {
     // negotiation loop and pins the bug below the mode dispatch.
     with_faults([](CircuitCase& m) { m.negotiated = false; });
   }
+  // Repair-dimension moves: drop trailing events (the derivation consumes
+  // its rng stream per event, so a shorter list is a strict prefix of the
+  // same events), then lift the per-event budget.
+  if (c.repair_events > 1) {
+    with_faults([](CircuitCase& m) { m.repair_events = 1; });
+    with_faults([](CircuitCase& m) { m.repair_events /= 2; });
+    with_faults([](CircuitCase& m) { m.repair_events -= 1; });
+  }
+  if (c.repair_budget > 0) {
+    with_faults([](CircuitCase& m) { m.repair_budget = 0; });  // 0 = unlimited
+  }
   return out;
 }
 

@@ -21,6 +21,9 @@ void Counters::reset() {
   pattern_accepts.store(0, std::memory_order_relaxed);
   congestion_reliefs.store(0, std::memory_order_relaxed);
   move_to_front_reorders.store(0, std::memory_order_relaxed);
+  repair_events.store(0, std::memory_order_relaxed);
+  repair_nets_ripped.store(0, std::memory_order_relaxed);
+  repair_nets_rerouted.store(0, std::memory_order_relaxed);
 }
 
 Counters& counters() {

@@ -51,6 +51,13 @@ struct Counters {
   std::atomic<std::uint64_t> congestion_reliefs{0};       // CongestionRelief guards built
   std::atomic<std::uint64_t> move_to_front_reorders{0};   // inter-pass reorders applied
 
+  // Incremental ECO repair (router/repair, DESIGN.md §14). ripped >= the
+  // delta's direct hits (cone expansion only adds); rerouted counts the
+  // cone nets that ended kRouted after the event.
+  std::atomic<std::uint64_t> repair_events{0};        // repair_route calls
+  std::atomic<std::uint64_t> repair_nets_ripped{0};   // cone nets ripped up
+  std::atomic<std::uint64_t> repair_nets_rerouted{0}; // cone nets routed again
+
   /// Zeroes every counter.
   void reset();
 };

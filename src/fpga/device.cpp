@@ -199,8 +199,12 @@ int Device::used_wire_count() const {
   }
   // Faulted wires are permanently inactive but were never consumed by a
   // net; reporting them as "used" would make degradation stats double-count
-  // defects as routing demand.
+  // defects as routing demand. Event-dead wires likewise — minus any
+  // overlap with the installed fault set, which was already subtracted.
   if (faults_ != nullptr) used -= static_cast<int>(faults_->dead_wires().size());
+  for (const NodeId v : events_.dead_wires) {
+    if (faults_ == nullptr || !faults_->wire_faulted(v)) --used;
+  }
   return used;
 }
 
@@ -212,6 +216,28 @@ void Device::install_faults(const FaultSpec& spec) {
 
 void Device::clear_faults() {
   faults_.reset();
+  reset();
+}
+
+void Device::apply_fault_event(const FaultEvent& event) {
+  for (const NodeId v : event.dead_wires) {
+    FPR_CHECK(is_wire(v), "apply_fault_event: node " << v << " is not a wire (wires are ["
+                                                     << block_count_ << ", "
+                                                     << graph_.node_count() << "))");
+    // Activity-guarded: a wire already consumed by a net (or already dead)
+    // stays as-is; the overlay record below is what makes it permanent.
+    if (graph_.node_active(v)) graph_.remove_node(v);
+  }
+  for (const EdgeId e : event.dead_edges) {
+    FPR_CHECK(e >= 0 && e < graph_.edge_count(),
+              "apply_fault_event: edge " << e << " outside [0, " << graph_.edge_count() << ")");
+    if (graph_.edge_active(e)) graph_.remove_edge(e);
+  }
+  events_.merge(event);
+}
+
+void Device::clear_fault_events() {
+  events_ = FaultEvent{};
   reset();
 }
 
@@ -246,6 +272,15 @@ void Device::reset() {
     // faulted-but-empty device.
     for (const NodeId v : faults_->dead_wires()) graph_.remove_node(v);
     for (const EdgeId e : faults_->dead_edges()) graph_.remove_edge(e);
+  }
+  // The live-event overlay outlives routing state the same way. Guarded
+  // because an event may name an element the installed fault set already
+  // killed above.
+  for (const NodeId v : events_.dead_wires) {
+    if (graph_.node_active(v)) graph_.remove_node(v);
+  }
+  for (const EdgeId e : events_.dead_edges) {
+    if (graph_.edge_active(e)) graph_.remove_edge(e);
   }
 }
 

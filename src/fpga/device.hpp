@@ -131,6 +131,29 @@ class Device {
   const FaultModel* faults() const { return faults_.get(); }
   bool has_faults() const { return faults_ != nullptr && !faults_->empty(); }
 
+  /// Applies a live fault event on top of whatever is installed AND routed:
+  /// the named elements join a cumulative overlay that — like installed
+  /// FaultSpec defects — is re-applied by every subsequent reset(), so a
+  /// later rip-up pass never resurrects an element that died mid-service.
+  /// Unlike install_faults() this does NOT reset routing state: currently
+  /// active elements are removed in place, already-inactive ones (consumed
+  /// by a net, or already dead) are only recorded — committed routing on
+  /// unrelated wires is byte-untouched, which is the precondition of the
+  /// incremental repair engine (router/repair.hpp). FPR_CHECKs id ranges.
+  void apply_fault_event(const FaultEvent& event);
+
+  /// Cumulative union of every event applied since construction (or the
+  /// last clear_fault_events()). Replaying this on a fresh device — probe
+  /// devices, journal replay — reproduces the exact overlay.
+  const FaultEvent& fault_event_overlay() const { return events_; }
+  bool has_fault_events() const { return !events_.empty(); }
+  bool event_wire_faulted(NodeId v) const { return events_.wire_faulted(v); }
+  bool event_edge_faulted(EdgeId e) const { return events_.edge_faulted(e); }
+
+  /// Drops the event overlay and restores the device (routing state
+  /// included — same semantics as clear_faults()).
+  void clear_fault_events();
+
   /// Restores every node/edge to active and every weight to the base 1.0,
   /// then re-applies the installed faults (if any). O(touched state), not
   /// O(V + E): the graph records which elements each pass mutated and only
@@ -151,6 +174,7 @@ class Device {
   // shared_ptr so Device copies (one per width probe) share the immutable
   // model instead of re-sampling it.
   std::shared_ptr<const FaultModel> faults_;
+  FaultEvent events_;  // live-event overlay, re-applied by reset()
 };
 
 }  // namespace fpr

@@ -1,6 +1,8 @@
 #include "fpga/faults.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "core/contract.hpp"
@@ -42,7 +44,99 @@ bool parse_int(const std::string& text, int& out) {
   return true;
 }
 
+/// Canonical comma-joined id list ("12,40,77") for FaultEvent::describe().
+std::string format_ids(const std::vector<std::int32_t>& ids) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) os << ',';
+    os << ids[i];
+  }
+  return os.str();
+}
+
+/// Parses a non-empty comma-separated id list; every token must be a plain
+/// decimal that fits an int32. Rejects empty tokens ("1,,2") so a mangled
+/// journal line fails loudly instead of silently dropping elements.
+bool parse_id_list(const std::string& text, std::vector<std::int32_t>& out) {
+  out.clear();
+  if (text.empty()) return false;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token =
+        comma == std::string::npos ? text.substr(pos) : text.substr(pos, comma - pos);
+    std::uint64_t value = 0;
+    if (!parse_u64(token, value)) return false;
+    if (value > static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max())) {
+      return false;
+    }
+    out.push_back(static_cast<std::int32_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+void sort_unique(std::vector<std::int32_t>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
 }  // namespace
+
+void FaultEvent::normalize() {
+  sort_unique(dead_wires);
+  sort_unique(dead_edges);
+}
+
+bool FaultEvent::wire_faulted(NodeId v) const {
+  return std::binary_search(dead_wires.begin(), dead_wires.end(), v);
+}
+
+bool FaultEvent::edge_faulted(EdgeId e) const {
+  return std::binary_search(dead_edges.begin(), dead_edges.end(), e);
+}
+
+void FaultEvent::merge(const FaultEvent& other) {
+  dead_wires.insert(dead_wires.end(), other.dead_wires.begin(), other.dead_wires.end());
+  dead_edges.insert(dead_edges.end(), other.dead_edges.begin(), other.dead_edges.end());
+  normalize();
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream os;
+  os << "event";
+  if (!dead_wires.empty()) os << " wires=" << format_ids(dead_wires);
+  if (!dead_edges.empty()) os << " edges=" << format_ids(dead_edges);
+  return os.str();
+}
+
+std::optional<FaultEvent> FaultEvent::parse(const std::string& line) {
+  std::istringstream is(line);
+  std::string tag;
+  if (!(is >> tag) || tag != "event") return std::nullopt;
+  FaultEvent event;
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    bool ok = false;
+    if (key == "wires") {
+      ok = parse_id_list(value, event.dead_wires);
+    } else if (key == "edges") {
+      ok = parse_id_list(value, event.dead_edges);
+    } else {
+      // Unknown keys are accepted (and ignored), same growth policy as
+      // FaultSpec::parse.
+      ok = true;
+    }
+    if (!ok) return std::nullopt;
+  }
+  event.normalize();
+  return event;
+}
 
 bool FaultSpec::valid() const {
   const auto rate_ok = [](int permille) { return permille >= 0 && permille <= 1000; };

@@ -51,6 +51,45 @@ struct FaultSpec {
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
 
+/// A live defect delta against an *already-routed* device — the unit the
+/// incremental repair engine (router/repair.hpp) consumes. Where a
+/// FaultSpec describes a defect *distribution* sampled before routing, a
+/// FaultEvent names the concrete elements that just died mid-service
+/// ("this wire broke, that switch fused"), so it can be applied to a
+/// device without disturbing the routing state already committed on it
+/// (Device::apply_fault_event).
+///
+/// Both lists are kept sorted and unique: normalize() enforces it after
+/// hand-assembly, parse() returns normalized events, and the membership
+/// tests below assume it. That also makes describe() canonical — equal
+/// events serialize to equal lines, which the repair journal's replay
+/// bit-identity contract relies on.
+struct FaultEvent {
+  std::vector<NodeId> dead_wires;  // sorted, unique wire-node ids
+  std::vector<EdgeId> dead_edges;  // sorted, unique edge ids
+
+  bool empty() const { return dead_wires.empty() && dead_edges.empty(); }
+  int fault_count() const { return static_cast<int>(dead_wires.size() + dead_edges.size()); }
+
+  /// Sorts and dedupes both lists (idempotent).
+  void normalize();
+
+  /// Binary-search membership; lists must be normalized.
+  bool wire_faulted(NodeId v) const;
+  bool edge_faulted(EdgeId e) const;
+
+  /// Set-union of `other` into this event; both stay normalized.
+  void merge(const FaultEvent& other);
+
+  /// One-line serialization, the journal/replay format. Empty categories
+  /// are omitted:
+  ///   event wires=12,40 edges=7
+  std::string describe() const;
+  static std::optional<FaultEvent> parse(const std::string& line);
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
 /// The concrete defect set a FaultSpec induces on one Device: the dead wire
 /// nodes and dead edges, materialized once and then re-applied by every
 /// Device::reset() so faults survive router passes.

@@ -27,6 +27,8 @@ struct CircuitNet {
   bool critical = false;
 
   int pin_count() const { return 1 + static_cast<int>(sinks.size()); }
+
+  friend bool operator==(const CircuitNet&, const CircuitNet&) = default;
 };
 
 /// A placed circuit: nets over a rows x cols logic-block array. Placement

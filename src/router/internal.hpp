@@ -30,4 +30,19 @@ void accumulate_degradation_stats(const Device& device, const Circuit& circuit,
 /// aggregates (both modes finish with exactly this fold).
 void accumulate_totals(RoutingResult& result);
 
+/// Routes ONE net on the live device exactly the way a serial paper-mode
+/// pass would at that position: whole-net attempt (or the decomposed
+/// baseline), the fault-retry ladder when `fault_retries > 0`, post-hoc
+/// measurement, and the commit (wire consumption + congestion penalties).
+/// `record` receives the outcome; when `commit_logs` is non-null it must be
+/// indexed like circuit.nets and entry `idx` receives the commit's undo
+/// record. This is the re-route primitive of the incremental repair engine
+/// (repair.cpp): cone nets re-route through the same code path a full pass
+/// uses, so repaired nets are bit-identical to what a fresh pass would
+/// produce under the same device state.
+void route_single_net(Device& device, const Circuit& circuit, const RouterOptions& options,
+                      WorkBudget& budget, int fault_retries,
+                      std::vector<NetCommitLog>* commit_logs, std::size_t idx,
+                      NetRouteResult& record);
+
 }  // namespace fpr::router_internal

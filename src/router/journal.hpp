@@ -1,0 +1,86 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "router/repair.hpp"
+
+namespace fpr {
+
+/// One journaled delta: the event a service applied and the outcome its
+/// repair reported at the time.
+struct JournalEntry {
+  RepairEvent event;
+  RepairOutcome outcome;
+
+  friend bool operator==(const JournalEntry&, const JournalEntry&) = default;
+};
+
+/// Append-only log of the ECO deltas applied to one routed circuit — the
+/// checkpoint format of the repair engine. The journal plus the seed
+/// inputs (device spec, circuit, RouterOptions) IS the routed state:
+/// replay_journal() routes the seed from scratch and re-applies every
+/// event, reproducing the live result bit-for-bit and cross-checking each
+/// recorded outcome against the recomputed one. That makes the journal a
+/// recovery checkpoint (restart a dead service), an audit trail (every
+/// degradation has the event that caused it on the line above), and a
+/// regression artifact (a misbehaving event sequence is a text file).
+///
+/// Text format, line-oriented ("fpr-journal v1" header, then one
+/// RepairEvent::describe line followed by its RepairOutcome::describe line
+/// per entry; blank lines and `#` comments are skipped):
+///   fpr-journal v1
+///   repair wires=12,40 budget=50000
+///   outcome cone=3 repaired=3 degraded=0 aborted=0 budget=1234 detour=4
+class RepairJournal {
+ public:
+  void append(RepairEvent event, RepairOutcome outcome) {
+    entries_.push_back(JournalEntry{std::move(event), std::move(outcome)});
+  }
+
+  const std::vector<JournalEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  std::string serialize() const;
+  static std::optional<RepairJournal> parse(const std::string& text);
+
+  /// File round-trip (serialize/parse through a text file). save returns
+  /// false on I/O failure; load returns nullopt on I/O failure or a
+  /// malformed journal.
+  bool save(const std::string& path) const;
+  static std::optional<RepairJournal> load(const std::string& path);
+
+  friend bool operator==(const RepairJournal&, const RepairJournal&) = default;
+
+ private:
+  std::vector<JournalEntry> entries_;
+};
+
+/// What replay_journal reconstructs from (seed circuit + journal).
+struct JournalReplayResult {
+  /// True when every recomputed outcome matched the journal's recorded one
+  /// field-for-field. On false, `error` names the first divergence; the
+  /// reconstructed state is still returned (replay runs to completion) so
+  /// callers can diff it.
+  bool ok = false;
+  std::string error;
+
+  Circuit circuit;        // seed circuit with every net delta applied
+  RoutingResult result;   // the reconstructed routed state
+  std::vector<RepairOutcome> outcomes;  // recomputed, one per journal entry
+};
+
+/// Reconstructs the routed state (seed circuit + journal): clears any
+/// fault-event overlay on the device (spec faults stay installed — they are
+/// part of the seed), routes the circuit from scratch with record_commits
+/// forced on, then replays every journal entry through repair_route,
+/// comparing each recomputed RepairOutcome against the recorded one. The
+/// replay determinism contract: for a journal produced against the same
+/// seed inputs, the reconstructed RoutingResult is bit-identical to the
+/// live result the journal was recorded from.
+JournalReplayResult replay_journal(Device& device, const Circuit& seed,
+                                   const RouterOptions& options, const RepairJournal& journal);
+
+}  // namespace fpr

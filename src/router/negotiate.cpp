@@ -570,10 +570,17 @@ RoutingResult route_circuit_negotiated(Device& device, const Circuit& circuit,
   // behind. The activity guard makes a shipped sharing violation (seeded
   // bugs) survive to the oracle instead of crashing a double-remove.
   device.reset();
-  for (const auto& record : result.nets) {
+  if (options.record_commits) result.commit_logs.assign(net_count, NetCommitLog{});
+  for (std::size_t idx = 0; idx < net_count; ++idx) {
+    const NetRouteResult& record = result.nets[idx];
     if (!record.routed()) continue;
     for (const NodeId w : wire_nodes_of(device, record.edges)) {
-      if (g.node_active(w)) g.remove_node(w);
+      if (g.node_active(w)) {
+        g.remove_node(w);
+        // Wires only, no penalties: the negotiated final state carries none
+        // by contract, so this log is the commit's exact undo record.
+        if (options.record_commits) result.commit_logs[idx].wires.push_back(w);
+      }
     }
   }
 
@@ -590,7 +597,7 @@ RoutingResult route_circuit_negotiated(Device& device, const Circuit& circuit,
   result.pattern_attempts = patterns.attempts;
   result.pattern_accepts = patterns.accepts;
 
-  if (device.has_faults() && !result.success) {
+  if ((device.has_faults() || device.has_fault_events()) && !result.success) {
     router_internal::classify_fault_blocked(device, circuit, result);
   }
   router_internal::accumulate_degradation_stats(device, circuit, options, result);

@@ -35,11 +35,10 @@ namespace {
 
 /// Undo record for commit_net: every wire node it consumed and every edge
 /// it charged the congestion penalty to (one entry per application, so an
-/// edge penalized through several siblings appears several times).
-struct CommitLog {
-  std::vector<NodeId> wires;
-  std::vector<EdgeId> penalized;
-};
+/// edge penalized through several siblings appears several times). The
+/// same shape the public API records per net when
+/// RouterOptions::record_commits is on.
+using CommitLog = NetCommitLog;
 
 /// Commits a routed net: removes its wire nodes from the graph (electrical
 /// disjointness) and charges the congestion penalty to the edges of the
@@ -163,7 +162,8 @@ struct TwoPinOutcome {
 };
 
 TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
-                                       double congestion_penalty, WorkBudget* budget) {
+                                       double congestion_penalty, WorkBudget* budget,
+                                       CommitLog* out_log = nullptr) {
   Graph& g = device.graph();
   TwoPinOutcome out;
   std::vector<EdgeId> all_edges;
@@ -194,6 +194,7 @@ TwoPinOutcome route_two_pin_decomposed(Device& device, const Net& net,
   }
   out.routed = true;
   out.edges = std::move(all_edges);
+  if (out_log != nullptr) *out_log = std::move(log);
   return out;
 }
 
@@ -213,7 +214,10 @@ void classify_fault_blocked(const Device& device, const Circuit& circuit,
     if (record.status != NetStatus::kFailedCongestion) continue;
     if (probe == nullptr) {
       probe = std::make_unique<Device>(device.spec());
-      probe->install_faults(device.faults()->spec());
+      // The probe mirrors the device's defects only: installed fault set
+      // plus the live-event overlay (either may be absent on its own).
+      if (device.faults() != nullptr) probe->install_faults(device.faults()->spec());
+      if (device.has_fault_events()) probe->apply_fault_event(device.fault_event_overlay());
       oracle_storage = std::make_unique<PathOracle>(probe->graph());
       oracle = oracle_storage.get();
     }
@@ -310,6 +314,9 @@ struct NetContext {
   const RouterOptions& options;
   WorkBudget& budget;
   int fault_retries;
+  /// When non-null (record_commits), indexed like circuit.nets: each
+  /// committed net writes its undo record to (*commit_logs)[idx].
+  std::vector<NetCommitLog>* commit_logs = nullptr;
 };
 
 /// Folds one commit's writes into `box`: the consumed wire nodes and both
@@ -364,13 +371,15 @@ void route_net_live(NetContext& ctx, std::size_t idx, NetRouteResult& record,
       failed.push_back(idx);
       return;
     }
-    auto out = route_two_pin_decomposed(device, net, options.congestion_penalty, &budget);
+    CommitLog* log =
+        ctx.commit_logs != nullptr ? &(*ctx.commit_logs)[idx] : nullptr;
+    auto out = route_two_pin_decomposed(device, net, options.congestion_penalty, &budget, log);
     double relief_scale = 1.0;
     while (!out.routed && !out.budget_aborted && record.retries < ctx.fault_retries) {
       ++record.retries;
       relief_scale *= options.fault_relief_backoff;
       CongestionRelief relief(g, relief_scale);
-      out = route_two_pin_decomposed(device, net, options.congestion_penalty, &budget);
+      out = route_two_pin_decomposed(device, net, options.congestion_penalty, &budget, log);
     }
     if (!out.routed) {
       record.status =
@@ -450,10 +459,11 @@ void route_net_live(NetContext& ctx, std::size_t idx, NetRouteResult& record,
   record.optimal_max_pathlength = metrics.optimal_max_pathlength;
   record.physical_wirelength = static_cast<int>(tree.edges().size());
   record.physical_max_path = tree.max_path_edge_count(net.source, net.sinks);
-  CommitLog log;
-  record.wire_nodes_used = commit_net(device, tree.edges(), options.congestion_penalty,
-                                      write_box != nullptr ? &log : nullptr);
-  if (write_box != nullptr) include_commit_box(device, g, log, *write_box);
+  CommitLog local_log;
+  CommitLog* log = ctx.commit_logs != nullptr ? &(*ctx.commit_logs)[idx] : nullptr;
+  if (log == nullptr && write_box != nullptr) log = &local_log;
+  record.wire_nodes_used = commit_net(device, tree.edges(), options.congestion_penalty, log);
+  if (write_box != nullptr) include_commit_box(device, g, *log, *write_box);
 }
 
 /// Collapses every Dijkstra run of a speculative route into one rectangle
@@ -561,11 +571,13 @@ bool accept_speculation(NetContext& ctx, Speculation& spec, NetRouteResult& reco
   record.optimal_max_pathlength = spec.metrics.optimal_max_pathlength;
   record.physical_wirelength = static_cast<int>(record.edges.size());
   record.physical_max_path = spec.physical_max_path;
-  CommitLog log;
+  CommitLog local_log;
+  CommitLog* log =
+      ctx.commit_logs != nullptr ? &(*ctx.commit_logs)[spec.idx] : &local_log;
   record.wire_nodes_used =
-      commit_net(ctx.device, record.edges, ctx.options.congestion_penalty, &log);
+      commit_net(ctx.device, record.edges, ctx.options.congestion_penalty, log);
   TileRect write_box;
-  include_commit_box(ctx.device, ctx.device.graph(), log, write_box);
+  include_commit_box(ctx.device, ctx.device.graph(), *log, write_box);
   wave_writes.push_back(write_box);
   return true;
 }
@@ -684,6 +696,19 @@ std::vector<int> schedule_regions(const Circuit& circuit, const RouterOptions& o
 
 }  // namespace
 
+namespace router_internal {
+
+void route_single_net(Device& device, const Circuit& circuit, const RouterOptions& options,
+                      WorkBudget& budget, int fault_retries,
+                      std::vector<NetCommitLog>* commit_logs, std::size_t idx,
+                      NetRouteResult& record) {
+  NetContext ctx{device, circuit, options, budget, fault_retries, commit_logs};
+  std::vector<std::size_t> failed;  // single-net call: the status already says it
+  route_net_live(ctx, idx, record, failed, nullptr);
+}
+
+}  // namespace router_internal
+
 RoutingResult route_circuit(Device& device, const Circuit& circuit,
                             const RouterOptions& options) {
   if (options.mode == RouterMode::kNegotiated) {
@@ -701,7 +726,11 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
   // expansions, never wall-clock: the same inputs exhaust it at the same
   // expansion on every platform.
   WorkBudget budget{options.node_budget};
-  const bool faulty = device.has_faults();
+  // Live fault events count as defects for the retry ladder and the
+  // post-hoc fault classification: a from-scratch route on a device that
+  // survived apply_fault_event() sees the same dead elements a
+  // FaultSpec-faulted device would.
+  const bool faulty = device.has_faults() || device.has_fault_events();
   const int fault_retries = faulty ? std::max(0, options.fault_retries) : 0;
   NetContext ctx{device, circuit, options, budget, fault_retries};
 
@@ -730,6 +759,10 @@ RoutingResult route_circuit(Device& device, const Circuit& circuit,
     const long long work_so_far = budget.used;
     result = RoutingResult{};
     result.nets.assign(net_count, NetRouteResult{});
+    if (options.record_commits) {
+      result.commit_logs.assign(net_count, NetCommitLog{});
+      ctx.commit_logs = &result.commit_logs;  // re-point: the vector was replaced
+    }
     result.passes = pass;
     result.work_used = work_so_far;
     std::vector<std::size_t> failed;

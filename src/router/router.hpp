@@ -139,6 +139,15 @@ struct RouterOptions {
   /// probe is accepted only when its corridor path is fault-free and
   /// congestion-free; anything else falls back to the engine.
   bool pattern_route = true;
+
+  /// Record a per-net commit log (RoutingResult::commit_logs): the wire
+  /// nodes each net consumed and — paper mode — the exact edges its commit
+  /// penalized. Required by the incremental repair engine
+  /// (router/repair.hpp): penalty applications depend on commit-time
+  /// sibling activity, which later commits change, so exact rip-up needs
+  /// the historical log, not a reconstruction from final state. Off by
+  /// default (one-shot routes don't pay the bookkeeping).
+  bool record_commits = false;
 };
 
 /// Per-net routing outcome classification — the graceful-degradation
@@ -183,6 +192,23 @@ struct NetRouteResult {
   int physical_wirelength = 0;  // tree edge count
   int physical_max_path = 0;    // worst source-sink hop count
   int wire_nodes_used = 0;
+
+  /// Field-for-field (bit-exact on the Weight fields) — the byte-stability
+  /// and journal-replay contracts of the repair engine compare with this.
+  friend bool operator==(const NetRouteResult&, const NetRouteResult&) = default;
+};
+
+/// What one net's commit did to the device — the undo record incremental
+/// repair (router/repair.hpp) rips up with. Paper mode: `wires` are the
+/// consumed wire nodes and `penalized` lists every edge the commit charged
+/// congestion_penalty to, one entry per application (an edge can appear
+/// more than once across a net's wires). Negotiated mode: `wires` only —
+/// the final negotiated device state carries no penalties by contract.
+struct NetCommitLog {
+  std::vector<NodeId> wires;
+  std::vector<EdgeId> penalized;
+
+  friend bool operator==(const NetCommitLog&, const NetCommitLog&) = default;
 };
 
 /// Outcome of routing a whole circuit at one channel width.
@@ -225,6 +251,11 @@ struct RoutingResult {
   /// contract: bit-identical across RouterOptions::threads values.
   std::vector<std::size_t> net_order;
 
+  /// RouterOptions::record_commits only: one log per net (indexed like
+  /// `nets`, empty vectors for unrouted nets), recording what that net's
+  /// final-pass commit did to the device. Empty when recording is off.
+  std::vector<NetCommitLog> commit_logs;
+
   // --- Negotiated-mode convergence contract (DESIGN.md §13) ---
 
   /// Negotiated mode only: one entry per negotiation pass, holding the
@@ -259,5 +290,12 @@ struct RoutingResult {
 /// negotiated-congestion loop instead (router/negotiate.hpp); either way
 /// the final device state satisfies exclusive wire ownership.
 RoutingResult route_circuit(Device& device, const Circuit& circuit, const RouterOptions& options);
+
+/// Incremental (ECO) repair of an existing RoutingResult after a live
+/// delta — a FaultEvent or a set of changed/added/removed nets — lives in
+/// router/repair.hpp (`repair_route`), with the append-only event journal
+/// and checkpoint/replay in router/journal.hpp. Both modes are supported;
+/// routes that will be repaired must be produced with
+/// RouterOptions::record_commits = true.
 
 }  // namespace fpr

@@ -1,0 +1,109 @@
+// Repair mutation smoke test: plant the seeded cone bug
+// (testhooks::repair_skip_cone_neighbor makes repair_cone skip the
+// congestion-neighbor expansion round, so nets owning a tile sibling of a
+// dead wire keep their stale routes instead of re-routing under the
+// post-event landscape) and prove the repair fuzz oracle catches it with a
+// minimized, replayable repro — plus a pinned direct regression and a
+// control run that exonerates the oracle itself. The repaired state stays
+// electrically legal under this bug, so only the kRepair cone-contract
+// re-derivation (which deliberately does NOT call repair_cone) can see it.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "check/fuzz.hpp"
+#include "core/metrics.hpp"
+#include "router/repair.hpp"
+
+namespace fpr::check {
+namespace {
+
+class RepairMutationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    counters().reset();
+    testhooks::repair_skip_cone_neighbor.store(true);
+  }
+  void TearDown() override { testhooks::repair_skip_cone_neighbor.store(false); }
+};
+
+// The minimized case the fuzz run below first caught, pinned verbatim: an
+// ECO event kills a committed wire whose channel tile also carries another
+// net, and the skipped expansion round leaves that sibling owner out of the
+// cone. Kept as a direct regression so the bug-catch does not depend on
+// re-running the whole fuzz loop.
+constexpr const char* kPinnedRepro =
+    "circuit family=xc4000 rows=4 cols=5 width=2 nets=1,0,0 synth_seed=1737231601 "
+    "algo=ZEL decompose=0 repair_events=2 repair_seed=4762824867115632430";
+
+TEST_F(RepairMutationTest, OracleCatchesSkippedConeNeighborOnPinnedCase) {
+  const auto verdict = run_case(Oracle::kRepair, kPinnedRepro);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(verdict->ok())
+      << "seeded cone-neighbor skip shipped a repair the oracle waved through";
+
+  // Same case, hook off: clean — the failure above is the injected fault,
+  // not the oracle or the case itself.
+  testhooks::repair_skip_cone_neighbor.store(false);
+  const auto control = run_case(Oracle::kRepair, kPinnedRepro);
+  ASSERT_TRUE(control.has_value());
+  EXPECT_TRUE(control->ok()) << control->message();
+}
+
+TEST_F(RepairMutationTest, FuzzOracleCatchesSkippedConeNeighbor) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "repair-mutation-failures";
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 150;
+  options.oracles = {Oracle::kRepair};
+  options.max_failures = 1;  // first catch is enough for the smoke test
+  options.failure_dir = dir.string();
+  options.log = nullptr;
+  const FuzzReport report = fuzz(options);
+
+  ASSERT_FALSE(report.clean())
+      << "skipped cone-neighbor expansion survived 150 repair-oracle iterations";
+  const FuzzFailure& f = report.failures.front();
+  EXPECT_FALSE(f.repro.empty());
+  EXPECT_FALSE(f.message.empty());
+
+  // The minimized repro parses, still fails, and is still a repair case —
+  // the shrinker must not have dropped the event dimension the bug needs.
+  const auto minimized = CircuitCase::parse(f.repro);
+  ASSERT_TRUE(minimized.has_value()) << f.repro;
+  EXPECT_GT(minimized->repair_events, 0) << f.repro;
+  const auto rerun = run_case(Oracle::kRepair, f.repro);
+  ASSERT_TRUE(rerun.has_value());
+  EXPECT_FALSE(rerun->ok()) << "minimized repro no longer fails: " << f.repro;
+
+  // ...and was persisted as a self-contained file that replays.
+  ASSERT_FALSE(f.file.empty());
+  EXPECT_TRUE(std::filesystem::exists(f.file));
+  std::ostringstream log;
+  const auto replayed = replay_file(f.file, log);
+  ASSERT_TRUE(replayed.has_value()) << log.str();
+  EXPECT_FALSE(replayed->ok());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(RepairMutationTest, SameSeedIsCleanWithoutTheMutation) {
+  // Control: the exact fuzz run above passes once the hook is off, pinning
+  // the failures on the injected fault rather than the oracle or the
+  // repair generator.
+  testhooks::repair_skip_cone_neighbor.store(false);
+  FuzzOptions options;
+  options.seed = 1;
+  options.iterations = 150;
+  options.oracles = {Oracle::kRepair};
+  options.log = nullptr;
+  EXPECT_TRUE(fuzz(options).clean());
+}
+
+}  // namespace
+}  // namespace fpr::check
