@@ -138,6 +138,7 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 ThreadPool& ThreadPool::shared() {
+  // fpr-lint: allow(global-state) process-wide pool by design; holds no routing state, sized once from FPR_THREADS
   static ThreadPool pool(default_thread_count());
   return pool;
 }

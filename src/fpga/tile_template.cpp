@@ -365,8 +365,11 @@ struct CacheKey {
   }
 };
 
+// fpr-lint: allow(global-state) process-wide template cache: keyed by arch params only, immutable payloads, so hits are replay-neutral
 Mutex g_cache_mu;
+// fpr-lint: allow(global-state) guarded by g_cache_mu above; see tile_template.hpp cache contract
 std::map<CacheKey, std::shared_ptr<const TileTemplateImpl>> g_cache FPR_GUARDED_BY(g_cache_mu);
+// fpr-lint: allow(global-state) hit/miss counters read only by tile_template_stats(); never feed routing decisions
 TileTemplateStats g_stats FPR_GUARDED_BY(g_cache_mu);
 
 /// Cache lookup / compile-and-insert. Compilation runs under the lock:

@@ -31,6 +31,7 @@ std::vector<NodeId> ShortestPathTree::path_nodes_to(NodeId v) const {
 
 namespace {
 
+// fpr-lint: allow(global-state) test-only observer hook, thread-local so concurrent searches stay independent; nullptr in production
 thread_local SearchFootprintObserver* t_footprint_observer = nullptr;
 
 /// Reports the finished run's labeled set to this thread's observer (if

@@ -5,6 +5,7 @@
 namespace fpr {
 
 DijkstraArena& DijkstraArena::thread_local_instance() {
+  // fpr-lint: allow(global-state) per-thread scratch arena: epoch-versioned, fully reset per search, so reuse is observationally pure
   thread_local DijkstraArena arena;
   return arena;
 }

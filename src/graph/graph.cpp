@@ -250,6 +250,7 @@ std::span<const EdgeId> Graph::tiled_incident_edges(NodeId v) const {
   // Thread-local scratch: concurrent speculative routes synthesize incident
   // lists on the shared device graph, each thread into its own buffer. The
   // span is valid until this thread's next call (documented in graph.hpp).
+  // fpr-lint: allow(global-state) per-thread scratch buffer, overwritten on every call; lifetime contract documented in graph.hpp
   static thread_local std::vector<EdgeId> scratch;
   scratch.clear();
   topo_->for_each_slot(v, [&](NodeId, EdgeId e, const TiledSlot&) { scratch.push_back(e); });

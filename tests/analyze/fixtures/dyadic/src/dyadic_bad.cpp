@@ -1,0 +1,8 @@
+double literal_tenth() { return 0.1; }            // VIOLATION: 1/10 is not m/2^n
+float literal_milli() { return 1e-3f; }           // VIOLATION: 1/1000
+double divide_by_three(double v) { return v / 3.0; }   // VIOLATION: non-PoT divisor
+double divide_by_ten(double v) { return v / 10; }      // VIOLATION: int divisor, FP context
+double scaled(double v) {
+  v /= 100.0;  // VIOLATION: compound divide by non-PoT
+  return v;
+}

@@ -1,0 +1,11 @@
+// Mentioning 0.1 or 3.3 in a comment is fine — only code counts.
+double half() { return 0.5; }
+double quarter() { return 0.25; }
+double three_halves() { return 1.5; }        // 3/2: dyadic though not a power of two
+double big() { return 4096.0; }
+double tiny() { return 0x1.8p-3; }           // hex float: dyadic by construction
+double halve(double v) { return v / 2.0; }
+double shift(double v) { return v / 4096.0; }
+double scale(double v) { return v / 0.25; }  // PoT reciprocal is fine too
+unsigned guard(unsigned v) { return v / 10; }  // integer division, no FP context
+int identifier_x2(int x2) { return x2; }     // digit inside an identifier

@@ -1,0 +1,2 @@
+// fpr-lint: allow(dyadic-float) display-only percentage, never enters routing cost
+double percent(double v) { return v * 0.01; }

@@ -1,0 +1,13 @@
+#include <vector>
+
+int g_counter = 0;                 // VIOLATION: namespace-scope mutable
+std::vector<int> g_scratch;        // VIOLATION: namespace-scope mutable
+
+namespace impl {
+bool g_flag{false};                // VIOLATION: nested namespace is still global
+}
+
+int bump() {
+  static int calls = 0;            // VIOLATION: function-local static
+  return ++calls + g_counter + static_cast<int>(g_scratch.size()) + (impl::g_flag ? 1 : 0);
+}

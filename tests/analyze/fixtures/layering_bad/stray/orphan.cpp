@@ -1,0 +1,2 @@
+// VIOLATION: no module's paths cover stray/.
+int orphan() { return -1; }

@@ -1,0 +1,3 @@
+#pragma once
+#include "top/cyc_y.hpp"  // VIOLATION: x -> y -> x include cycle
+inline int cyc_x() { return 1; }

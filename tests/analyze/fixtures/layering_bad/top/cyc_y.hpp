@@ -1,0 +1,3 @@
+#pragma once
+#include "top/cyc_x.hpp"  // VIOLATION: y -> x -> y include cycle
+inline int cyc_y() { return 2; }

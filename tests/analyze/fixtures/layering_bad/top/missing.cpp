@@ -1,0 +1,3 @@
+#include "nowhere/gone.hpp"  // VIOLATION: unresolvable include
+
+int missing() { return 0; }

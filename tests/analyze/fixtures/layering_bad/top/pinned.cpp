@@ -1,0 +1,3 @@
+#include "base/frozen.hpp"  // fine: this file is the pinned consumer
+
+int pinned() { return frozen_reference(); }

@@ -1,0 +1,3 @@
+#include "base/frozen.hpp"  // VIOLATION: not a pinned consumer
+
+int rogue() { return frozen_reference(); }

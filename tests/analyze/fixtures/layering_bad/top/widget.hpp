@@ -1,0 +1,3 @@
+#pragma once
+#include "base/a.hpp"  // fine: top -> base is in the DAG
+inline int widget() { return base_value(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int base_value() { return 1; }

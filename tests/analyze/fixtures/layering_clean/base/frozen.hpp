@@ -1,0 +1,2 @@
+#pragma once
+inline int frozen_reference() { return 42; }

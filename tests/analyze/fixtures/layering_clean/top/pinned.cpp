@@ -1,0 +1,4 @@
+#include "base/frozen.hpp"
+#include "top/widget.hpp"
+
+int pinned() { return frozen_reference() + widget(); }

@@ -1,0 +1,4 @@
+#pragma once
+#include "base/a.hpp"
+// #include "base/frozen.hpp" — commented out, must NOT count as an edge
+inline int widget() { return base_value(); }

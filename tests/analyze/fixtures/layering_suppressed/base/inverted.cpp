@@ -1,0 +1,4 @@
+// fpr-lint: allow(layering) transitional edge, tracked for removal in the cleanup issue
+#include "top/widget.hpp"
+
+int inverted() { return widget(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int widget() { return 7; }

@@ -1,0 +1,208 @@
+// fpr-analyze CLI — see tools/analyze/analyze.hpp for the rule catalog and
+// tools/analyze/layering.toml for the manifest, DESIGN.md §10 for rationale.
+//
+// Usage:
+//   fpr-analyze --manifest <file> [options] <path>...
+//
+//   <path>             file or directory, relative to --root (directories are
+//                      walked recursively for .cpp/.hpp/.h/.cc, sorted)
+//   --manifest <file>  layering manifest (required)
+//   --root <dir>       repo root paths are relative to (default ".")
+//   --rule <name>      check only this rule (repeatable)
+//   --list-rules       print the rule catalog and exit
+//   --show-suppressed  also print findings covered by an inline allow()
+//   --baseline <file>  known findings (`file:rule` per line); matches are
+//                      reported but do not fail the gate — only NEW findings do
+//   --report <file>    write the text report to <file>
+//   --json <file>      write the findings as JSON to <file>
+//   --sarif <file>     write the findings as SARIF 2.1.0 to <file>
+//
+// Exit status: 0 = clean (or baselined), 1 = new unsuppressed findings,
+// 2 = usage/configuration error (unreadable manifest, cyclic module DAG, ...).
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+#include "report.hpp"
+
+namespace {
+
+constexpr const char* kVersion = "1.0";
+
+int usage(std::ostream& out, int code) {
+  out << "usage: fpr-analyze --manifest <file> [--root <dir>] [--rule <name>]...\n"
+         "                   [--list-rules] [--show-suppressed] [--baseline <file>]\n"
+         "                   [--report <file>] [--json <file>] [--sarif <file>] <path>...\n";
+  return code;
+}
+
+void print_finding(std::ostream& out, const fpr::lint::Finding& f, bool baselined) {
+  out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  if (f.suppressed) out << " (suppressed: " << f.suppress_reason << ")";
+  if (baselined) out << " (baselined)";
+  out << "\n";
+}
+
+/// Loads `file:rule` lines; '#' starts a comment, blank lines are ignored.
+bool load_baseline(const std::string& path, std::set<std::string>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::size_t b = line.find_first_not_of(" \t\r");
+    std::size_t e = line.find_last_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    out.insert(line.substr(b, e - b + 1));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fpr::analyze::Options options;
+  std::vector<std::string> paths;
+  std::string manifest_path;
+  std::string root = ".";
+  std::string baseline_path;
+  std::string report_path;
+  std::string json_path;
+  std::string sarif_path;
+  bool show_suppressed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&i, argc, argv]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--manifest") {
+      const char* v = next();
+      if (v == nullptr) return usage(std::cerr, 2);
+      manifest_path = v;
+    } else if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return usage(std::cerr, 2);
+      root = v;
+    } else if (arg == "--rule") {
+      const char* v = next();
+      if (v == nullptr) return usage(std::cerr, 2);
+      const std::string rule = v;
+      bool known = false;
+      for (const auto& r : fpr::analyze::rule_catalog()) known = known || r.name == rule;
+      if (!known) {
+        std::cerr << "fpr-analyze: unknown rule '" << rule << "' (see --list-rules)\n";
+        return 2;
+      }
+      options.only_rules.push_back(rule);
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : fpr::analyze::rule_catalog()) {
+        std::cout << rule.name << "\n    " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(std::cerr, 2);
+      baseline_path = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return usage(std::cerr, 2);
+      report_path = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage(std::cerr, 2);
+      json_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (v == nullptr) return usage(std::cerr, 2);
+      sarif_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fpr-analyze: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (manifest_path.empty() || paths.empty()) return usage(std::cerr, 2);
+
+  fpr::analyze::Manifest manifest;
+  std::string error;
+  if (!fpr::analyze::load_manifest(manifest_path, manifest, error)) {
+    std::cerr << "fpr-analyze: " << error << "\n";
+    return 2;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty() && !load_baseline(baseline_path, baseline)) {
+    std::cerr << "fpr-analyze: cannot read baseline '" << baseline_path << "'\n";
+    return 2;
+  }
+
+  const std::vector<fpr::lint::Finding> findings =
+      fpr::analyze::analyze_tree(root, manifest, paths, options);
+
+  std::size_t fresh = 0;
+  std::size_t baselined = 0;
+  std::size_t suppressed = 0;
+  for (const auto& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (show_suppressed) print_finding(std::cout, f, false);
+      continue;
+    }
+    const bool known = baseline.count(f.file + ":" + f.rule) != 0;
+    if (known) {
+      ++baselined;
+    } else {
+      ++fresh;
+    }
+    print_finding(std::cout, f, known);
+  }
+
+  bool io_error = false;
+  if (!report_path.empty()) {
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "fpr-analyze: cannot write report to '" << report_path << "'\n";
+      io_error = true;
+    } else {
+      for (const auto& f : findings) {
+        print_finding(report, f, !f.suppressed && baseline.count(f.file + ":" + f.rule) != 0);
+      }
+      report << "# " << fresh << " findings, " << baselined << " baselined, " << suppressed
+             << " suppressed\n";
+    }
+  }
+  const fpr::lint::ReportInfo info{"fpr-analyze", kVersion, fpr::analyze::rule_catalog()};
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "fpr-analyze: cannot write JSON to '" << json_path << "'\n";
+      io_error = true;
+    } else {
+      fpr::lint::write_json(json, info, findings);
+    }
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path);
+    if (!sarif) {
+      std::cerr << "fpr-analyze: cannot write SARIF to '" << sarif_path << "'\n";
+      io_error = true;
+    } else {
+      fpr::lint::write_sarif(sarif, info, findings);
+    }
+  }
+
+  std::cerr << "fpr-analyze: " << fresh << " findings, " << baselined << " baselined, "
+            << suppressed << " suppressed exceptions\n";
+  if (io_error) return 2;
+  return fresh == 0 ? 0 : 1;
+}

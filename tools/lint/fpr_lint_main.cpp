@@ -10,6 +10,8 @@
 //   --list-rules      print the rule catalog and exit
 //   --show-suppressed also print findings covered by an inline allow()
 //   --report <file>   additionally write the findings to <file>
+//   --json <file>     write the findings as JSON to <file>
+//   --sarif <file>    write the findings as SARIF 2.1.0 to <file>
 //
 // Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage error.
 #include <fstream>
@@ -18,12 +20,13 @@
 #include <vector>
 
 #include "lint.hpp"
+#include "report.hpp"
 
 namespace {
 
 int usage(std::ostream& out, int code) {
   out << "usage: fpr-lint [--rule <name>]... [--list-rules] [--show-suppressed]\n"
-         "                [--report <file>] <path>...\n";
+         "                [--report <file>] [--json <file>] [--sarif <file>] <path>...\n";
   return code;
 }
 
@@ -39,6 +42,8 @@ int main(int argc, char** argv) {
   fpr::lint::Options options;
   std::vector<std::string> paths;
   std::string report_path;
+  std::string json_path;
+  std::string sarif_path;
   bool show_suppressed = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +66,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--report") {
       if (++i >= argc) return usage(std::cerr, 2);
       report_path = argv[i];
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      json_path = argv[i];
+    } else if (arg == "--sarif") {
+      if (++i >= argc) return usage(std::cerr, 2);
+      sarif_path = argv[i];
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -109,6 +120,26 @@ int main(int argc, char** argv) {
       for (const auto& f : findings) print_finding(report, f);
       report << "# " << files << " files, " << unsuppressed << " findings, " << suppressed
              << " suppressed\n";
+    }
+  }
+
+  const fpr::lint::ReportInfo info{"fpr-lint", "1.0", fpr::lint::rule_catalog()};
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "fpr-lint: cannot write JSON to '" << json_path << "'\n";
+      io_error = true;
+    } else {
+      fpr::lint::write_json(json, info, findings);
+    }
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path);
+    if (!sarif) {
+      std::cerr << "fpr-lint: cannot write SARIF to '" << sarif_path << "'\n";
+      io_error = true;
+    } else {
+      fpr::lint::write_sarif(sarif, info, findings);
     }
   }
 

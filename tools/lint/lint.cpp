@@ -8,31 +8,24 @@
 
 namespace fpr::lint {
 
-namespace {
-
 // ---------------------------------------------------------------------------
 // Pass 1: strip comments and literals, extract suppression directives.
 //
 // Rules match against code only — a mention of assert() in a comment or a
 // "steady_clock" inside a string literal is not a finding. Suppression
 // directives live in the comments we strip, so both views of every line are
-// kept side by side.
+// kept side by side. Public (lint.hpp) because fpr-analyze runs its semantic
+// rules over the same stripped view.
 // ---------------------------------------------------------------------------
 
-struct Line {
-  std::string code;     // comments and literal contents blanked out
-  std::string comment;  // concatenated comment text on this line
-  bool code_blank = true;  // code is whitespace-only
-};
-
-std::vector<Line> split_and_strip(const std::string& content) {
-  std::vector<Line> lines(1);
+std::vector<SourceLine> strip_source(const std::string& content) {
+  std::vector<SourceLine> lines(1);
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
   State state = State::kCode;
   std::string raw_delim;  // for R"delim( ... )delim"
   bool escaped = false;
 
-  const auto current = [&lines]() -> Line& { return lines.back(); };
+  const auto current = [&lines]() -> SourceLine& { return lines.back(); };
 
   for (std::size_t i = 0; i < content.size(); ++i) {
     const char c = content[i];
@@ -124,6 +117,8 @@ std::vector<Line> split_and_strip(const std::string& content) {
   }
   return lines;
 }
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Small token helpers (hand-rolled; no <regex> — it is slow and its
@@ -217,7 +212,7 @@ std::vector<Directive> parse_directives(const std::string& comment) {
 
 struct FileContext {
   const std::string& filename;
-  const std::vector<Line>& lines;
+  const std::vector<SourceLine>& lines;
   std::string all_code;                 // stripped code joined by '\n'
   std::vector<std::size_t> line_start;  // offset of each line in all_code
 };
@@ -582,19 +577,85 @@ const std::vector<RuleInfo>& rule_catalog() {
   return catalog;
 }
 
+const std::vector<RuleInfo>& analyze_rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"layering",
+       "include edge violating the committed module DAG (tools/analyze/layering.toml): "
+       "cycle, layer inversion, frozen-header consumer, or uncovered file"},
+      {"dyadic-float",
+       "non-dyadic floating-point literal or division by a non-power-of-two constant in a "
+       "determinism-critical module (bit-exact pricing arithmetic)"},
+      {"global-state",
+       "namespace-scope mutable variable or function-local static outside the allowlist "
+       "(core/metrics counters, testhooks); hidden globals break replay"},
+  };
+  return catalog;
+}
+
 bool is_known_rule(const std::string& name) {
-  const auto& catalog = rule_catalog();
-  return std::any_of(catalog.begin(), catalog.end(),
-                     [&name](const RuleInfo& r) { return r.name == name; });
+  const auto known = [&name](const std::vector<RuleInfo>& catalog) {
+    return std::any_of(catalog.begin(), catalog.end(),
+                       [&name](const RuleInfo& r) { return r.name == name; });
+  };
+  return known(rule_catalog()) || known(analyze_rule_catalog());
+}
+
+void apply_directives(const std::string& filename, const std::vector<SourceLine>& lines,
+                      bool report_malformed, std::vector<Finding>& findings) {
+  // A directive covers findings on its own line; a directive on a
+  // comment-only line covers the next line that has code.
+  struct Active {
+    Directive directive;
+    int line;  // the line findings must be on to be covered
+  };
+  std::vector<Active> active;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (Directive& d : parse_directives(lines[i].comment)) {
+      int target = static_cast<int>(i + 1);
+      if (lines[i].code_blank) {
+        std::size_t j = i + 1;
+        while (j < lines.size() && lines[j].code_blank) ++j;
+        target = static_cast<int>(j + 1);
+      }
+      if (d.reason.empty()) {
+        if (report_malformed) {
+          findings.push_back(Finding{filename, static_cast<int>(i + 1), "lint-directive",
+                                     "allow(" + d.rule +
+                                         ") without a reason does not suppress; document why "
+                                         "the exception is safe",
+                                     false,
+                                     {}});
+        }
+        continue;
+      }
+      if (!is_known_rule(d.rule)) {
+        if (report_malformed) {
+          findings.push_back(Finding{filename, static_cast<int>(i + 1), "lint-directive",
+                                     "allow(" + d.rule + ") names an unknown rule", false, {}});
+        }
+        continue;
+      }
+      active.push_back(Active{std::move(d), target});
+    }
+  }
+  for (Finding& f : findings) {
+    for (const Active& a : active) {
+      if (a.directive.rule == f.rule && a.line == f.line) {
+        f.suppressed = true;
+        f.suppress_reason = a.directive.reason;
+        break;
+      }
+    }
+  }
 }
 
 std::vector<Finding> lint_source(const std::string& filename, const std::string& content,
                                  const Options& options) {
-  const std::vector<Line> lines = split_and_strip(content);
+  const std::vector<SourceLine> lines = strip_source(content);
 
   FileContext ctx{filename, lines, {}, {}};
   ctx.line_start.reserve(lines.size());
-  for (const Line& line : lines) {
+  for (const SourceLine& line : lines) {
     ctx.line_start.push_back(ctx.all_code.size());
     ctx.all_code += line.code;
     ctx.all_code += '\n';
@@ -610,47 +671,7 @@ std::vector<Finding> lint_source(const std::string& filename, const std::string&
     fn(ctx, findings);
   }
 
-  // Suppressions: a directive covers findings on its own line; a directive
-  // on a comment-only line covers the next line that has code.
-  struct Active {
-    Directive directive;
-    int line;  // the line findings must be on to be covered
-  };
-  std::vector<Active> active;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    for (Directive& d : parse_directives(lines[i].comment)) {
-      int target = static_cast<int>(i + 1);
-      if (lines[i].code_blank) {
-        std::size_t j = i + 1;
-        while (j < lines.size() && lines[j].code_blank) ++j;
-        target = static_cast<int>(j + 1);
-      }
-      if (d.reason.empty()) {
-        findings.push_back(Finding{filename, static_cast<int>(i + 1), "lint-directive",
-                                   "allow(" + d.rule +
-                                       ") without a reason does not suppress; document why "
-                                       "the exception is safe",
-                                   false,
-                                   {}});
-        continue;
-      }
-      if (!is_known_rule(d.rule)) {
-        findings.push_back(Finding{filename, static_cast<int>(i + 1), "lint-directive",
-                                   "allow(" + d.rule + ") names an unknown rule", false, {}});
-        continue;
-      }
-      active.push_back(Active{std::move(d), target});
-    }
-  }
-  for (Finding& f : findings) {
-    for (const Active& a : active) {
-      if (a.directive.rule == f.rule && a.line == f.line) {
-        f.suppressed = true;
-        f.suppress_reason = a.directive.reason;
-        break;
-      }
-    }
-  }
+  apply_directives(filename, lines, /*report_malformed=*/true, findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;

@@ -48,8 +48,42 @@ struct RuleInfo {
 /// Every rule fpr-lint knows, in reporting order.
 const std::vector<RuleInfo>& rule_catalog();
 
-/// True iff `name` is a rule in rule_catalog().
+/// Rules owned by fpr-analyze (tools/analyze), the semantic sibling of this
+/// tool. They share the `// fpr-lint: allow(<rule>) <reason>` suppression
+/// protocol, so their names must be recognized here: otherwise a documented
+/// dyadic-float exception in src/ would itself be flagged by fpr-lint as an
+/// unknown-rule directive.
+const std::vector<RuleInfo>& analyze_rule_catalog();
+
+/// True iff `name` is a rule in rule_catalog() or analyze_rule_catalog()
+/// (directives may legitimately reference either tool's rules).
 bool is_known_rule(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Shared engine pieces, used by fpr-analyze as well as the lint rules.
+// ---------------------------------------------------------------------------
+
+/// One physical line after comment/string stripping: `code` has comments
+/// and literal contents blanked out (rules match against it), `comment`
+/// holds the concatenated comment text (suppression directives live there).
+struct SourceLine {
+  std::string code;
+  std::string comment;
+  bool code_blank = true;  // code is whitespace-only
+};
+
+/// Splits `content` into lines and strips comments/string literals,
+/// tolerating raw strings and unterminated literals (reset at newline).
+std::vector<SourceLine> strip_source(const std::string& content);
+
+/// Applies the inline `// fpr-lint: allow(<rule>) <reason>` directives found
+/// in `lines` to `findings` (marking matches suppressed). A directive covers
+/// findings on its own line; one on a comment-only line covers the next line
+/// with code. When `report_malformed` is set, reason-less and unknown-rule
+/// directives are appended as `lint-directive` findings — exactly one tool
+/// per tree should report them (fpr-lint does; fpr-analyze passes false).
+void apply_directives(const std::string& filename, const std::vector<SourceLine>& lines,
+                      bool report_malformed, std::vector<Finding>& findings);
 
 struct Options {
   /// Restrict checking to these rules (empty = all). Unknown names are the

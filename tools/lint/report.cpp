@@ -1,0 +1,101 @@
+#include "report.hpp"
+
+#include <cstdio>
+
+namespace fpr::lint {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& out, const ReportInfo& info,
+                const std::vector<Finding>& findings) {
+  out << "{\n  \"tool\": \"" << json_escape(info.tool) << "\",\n  \"version\": \""
+      << json_escape(info.version) << "\",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\", \"suppressed\": " << (f.suppressed ? "true" : "false");
+    if (f.suppressed) {
+      out << ", \"suppress_reason\": \"" << json_escape(f.suppress_reason) << "\"";
+    }
+    out << "}";
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+void write_sarif(std::ostream& out, const ReportInfo& info,
+                 const std::vector<Finding>& findings) {
+  out << "{\n"
+         "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \""
+      << json_escape(info.tool)
+      << "\",\n"
+         "          \"version\": \""
+      << json_escape(info.version)
+      << "\",\n"
+         "          \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& r : info.rules) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "            {\"id\": \"" << json_escape(r.name)
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(r.summary) << "\"}}";
+  }
+  out << (first ? "]" : "\n          ]")
+      << "\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "        {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": " << (f.suppressed ? "\"note\"" : "\"error\"")
+        << ", \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+        << "}}}]";
+    if (f.suppressed) {
+      out << ", \"suppressions\": [{\"kind\": \"inSource\", \"justification\": \""
+          << json_escape(f.suppress_reason) << "\"}]";
+    }
+    out << "}";
+  }
+  out << (first ? "]" : "\n      ]")
+      << "\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+}
+
+}  // namespace fpr::lint

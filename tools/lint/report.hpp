@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+/// Machine-readable report writers shared by fpr-lint and fpr-analyze
+/// (DESIGN.md §10): both gates emit the same JSON shape and the same
+/// SARIF 2.1.0 subset, so CI has exactly one report/upload step for the
+/// whole static-analysis layer and GitHub code scanning renders findings
+/// from either tool as inline annotations.
+namespace fpr::lint {
+
+/// Identity of the emitting tool plus its rule catalog (SARIF requires the
+/// rules to be declared up front so results can reference them by id).
+struct ReportInfo {
+  std::string tool;     // "fpr-lint" or "fpr-analyze"
+  std::string version;  // informational only
+  std::vector<RuleInfo> rules;
+};
+
+/// Escapes `s` for embedding inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// Findings as a stable JSON document: {"tool", "findings": [{file, line,
+/// rule, message, suppressed, suppress_reason}]}. Sorted order is the
+/// caller's responsibility (both CLIs emit file-then-line order).
+void write_json(std::ostream& out, const ReportInfo& info,
+                const std::vector<Finding>& findings);
+
+/// Findings as SARIF 2.1.0 (the GitHub code-scanning ingestion format).
+/// Suppressed findings are included with an `inSource` suppression object —
+/// code scanning shows them as dismissed instead of silently dropping the
+/// documented exceptions.
+void write_sarif(std::ostream& out, const ReportInfo& info,
+                 const std::vector<Finding>& findings);
+
+}  // namespace fpr::lint
